@@ -1,0 +1,23 @@
+// Command upc-experiments regenerates every table and figure of the
+// thesis's evaluation in one run — the full per-experiment index of
+// DESIGN.md — printing model values alongside the paper's where the
+// paper states absolute numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", true,
+		"smaller trees and no SMT sweep points (pass -quick=false for the full paper-scale run)")
+	flag.Parse()
+	if err := experiments.All(os.Stdout, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "upc-experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,49 @@
+// Command upc-ft regenerates the NAS FT studies: Figure 3.4 (all-to-all
+// under runtime shared-memory configurations), Figure 4.4 (phase
+// breakdown), Figure 4.5 (split-phase communication time), and Figure 4.6
+// (hierarchical sub-thread variants).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "3.4a, 3.4b, 4.4, 4.5, 4.6, or all")
+	quick := flag.Bool("quick", false, "skip the most expensive (SMT) sweep points")
+	flag.Parse()
+	run := func(name string) error {
+		switch name {
+		case "3.4a":
+			return experiments.Figure34a(os.Stdout)
+		case "3.4b":
+			return experiments.Figure34b(os.Stdout)
+		case "4.4":
+			return experiments.Figure44(os.Stdout, *quick)
+		case "4.5":
+			return experiments.Figure45(os.Stdout, *quick)
+		case "4.6":
+			return experiments.Figure46(os.Stdout, *quick)
+		}
+		return fmt.Errorf("unknown figure %q", name)
+	}
+	var err error
+	if *figure == "all" {
+		for _, f := range []string{"3.4a", "3.4b", "4.4", "4.5", "4.6"} {
+			if err = run(f); err != nil {
+				break
+			}
+			fmt.Println()
+		}
+	} else {
+		err = run(*figure)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "upc-ft:", err)
+		os.Exit(1)
+	}
+}

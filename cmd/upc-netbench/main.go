@@ -1,0 +1,36 @@
+// Command upc-netbench regenerates the multi-link network microbenchmarks
+// of Figure 4.2: round-trip latency and flood bandwidth across message
+// sizes for process and pthread link-pairs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "4.2a (latency), 4.2b (bandwidth), or all")
+	quick := flag.Bool("quick", false, "halve the size grid")
+	flag.Parse()
+	var err error
+	switch *figure {
+	case "4.2a":
+		err = experiments.Figure42(os.Stdout, "a", *quick)
+	case "4.2b":
+		err = experiments.Figure42(os.Stdout, "b", *quick)
+	case "all":
+		if err = experiments.Figure42(os.Stdout, "a", *quick); err == nil {
+			fmt.Println()
+			err = experiments.Figure42(os.Stdout, "b", *quick)
+		}
+	default:
+		err = fmt.Errorf("unknown figure %q", *figure)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "upc-netbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,54 @@
+// Command upc-ra runs the RandomAccess (GUPS) ablation — the other
+// application class the thesis names as suited to thread grouping: one
+// fine-grained one-sided update per element, software aggregation per
+// destination thread, and hierarchical aggregation per destination node
+// through the thread-group pointer tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps/ra"
+	"repro/internal/report"
+	"repro/internal/topo"
+)
+
+func main() {
+	threads := flag.Int("threads", 32, "UPC threads")
+	perNode := flag.Int("per-node", 4, "threads per node")
+	table := flag.Int("table", 1<<18, "table elements")
+	updates := flag.Int("updates", 8192, "updates per thread")
+	machine := flag.String("machine", "pyramid", "machine model (lehman, pyramid)")
+	conduit := flag.String("conduit", "", "conduit override (ibv-qdr, ibv-ddr, gige)")
+	flag.Parse()
+
+	m, ok := topo.ByName(*machine)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "upc-ra: unknown machine %q\n", *machine)
+		os.Exit(1)
+	}
+	var rows [][]string
+	for _, v := range ra.Variants() {
+		r, err := ra.Run(ra.Config{
+			Machine: m, ConduitName: *conduit,
+			Threads: *threads, PerNode: *perNode,
+			TableSize: *table, Updates: *updates,
+			Variant: v, Seed: 1,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "upc-ra:", err)
+			os.Exit(1)
+		}
+		rows = append(rows, []string{
+			v.String(),
+			fmt.Sprintf("%.5f", r.GUPS),
+			fmt.Sprint(r.Messages),
+			r.Elapsed.String(),
+		})
+	}
+	report.Table(os.Stdout,
+		fmt.Sprintf("RandomAccess ablation: %d threads on %s (verified)", *threads, m.Name),
+		[]string{"variant", "GUPS", "messages", "time"}, rows)
+}

@@ -1,0 +1,35 @@
+// Command upc-stream regenerates the STREAM triad studies: Table 3.1
+// (twisted triad with shared-pointer variants) and Table 4.1 (hybrid
+// UPC x OpenMP configurations).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate: 3.1, 4.1, or all")
+	flag.Parse()
+	var err error
+	switch *table {
+	case "3.1":
+		err = experiments.Table31(os.Stdout)
+	case "4.1":
+		err = experiments.Table41(os.Stdout)
+	case "all":
+		if err = experiments.Table31(os.Stdout); err == nil {
+			fmt.Println()
+			err = experiments.Table41(os.Stdout)
+		}
+	default:
+		err = fmt.Errorf("unknown table %q (want 3.1, 4.1, all)", *table)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "upc-stream:", err)
+		os.Exit(1)
+	}
+}

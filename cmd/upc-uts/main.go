@@ -1,0 +1,36 @@
+// Command upc-uts regenerates the Unbalanced Tree Search studies: Figure
+// 3.3 (parallel scalability, InfiniBand and Ethernet) and Table 3.2
+// (work-stealing profiling).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	figure := flag.String("figure", "", "regenerate figure 3.3")
+	table := flag.String("table", "", "regenerate table 3.2")
+	quick := flag.Bool("quick", false, "use a ~400K-node tree instead of the paper's 4.35M")
+	flag.Parse()
+	var err error
+	switch {
+	case *figure == "3.3":
+		err = experiments.Figure33(os.Stdout, *quick)
+	case *table == "3.2":
+		err = experiments.Table32(os.Stdout, *quick)
+	case *figure == "" && *table == "":
+		if err = experiments.Figure33(os.Stdout, *quick); err == nil {
+			err = experiments.Table32(os.Stdout, *quick)
+		}
+	default:
+		err = fmt.Errorf("unknown selection -figure=%q -table=%q", *figure, *table)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "upc-uts:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,73 @@
+// Quickstart: the smallest complete program on the UPC runtime — an SPMD
+// launch on the modeled Lehman cluster, a block-cyclic shared array,
+// one-sided puts into a neighbor's partition, barriers, a castability
+// check, and a global reduction. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/topo"
+	"repro/internal/upc"
+)
+
+func main() {
+	cfg := upc.Config{
+		Machine:        topo.Lehman(), // 12 dual-socket Nehalem nodes, QDR IB
+		Threads:        8,
+		ThreadsPerNode: 4, // threads 0-3 on node 0, 4-7 on node 1
+		Backend:        upc.Processes,
+		PSHM:           true, // inter-process shared memory within a node
+		Seed:           42,
+	}
+
+	stats, err := upc.Run(cfg, func(t *upc.Thread) {
+		// Every thread runs this function, SPMD-style.
+		if t.ID == 0 {
+			fmt.Printf("hello from %d UPC threads on %s\n", t.N, cfg.Machine.Name)
+		}
+
+		// A shared array of 64 float64s, 8-element blocks: element i has
+		// affinity to thread (i/8) mod THREADS.
+		a := upc.Alloc[float64](t, 64, 8, 8)
+
+		// Initialize the local partition (plain slice access).
+		for i := range a.Local(t) {
+			a.Local(t)[i] = float64(t.ID)
+		}
+		t.Barrier()
+
+		// One-sided put: write our ID into our right neighbor's partition.
+		right := (t.ID + 1) % t.N
+		upc.PutT(t, a, right, 0, []float64{float64(t.ID) * 100})
+		t.Barrier()
+
+		left := (t.ID + t.N - 1) % t.N
+		if got := a.Local(t)[0]; got != float64(left)*100 {
+			log.Fatalf("thread %d: expected %v from left neighbor, got %v",
+				t.ID, float64(left)*100, got)
+		}
+
+		// Castability: same-node partitions privatize to direct slices.
+		cast := 0
+		for p := 0; p < t.N; p++ {
+			if a.Cast(t, p) != nil {
+				cast++
+			}
+		}
+
+		// A reduction over all threads.
+		sum := upc.AllReduceSum(t, float64(t.ID))
+		if t.ID == 0 {
+			fmt.Printf("thread 0 can cast %d of %d partitions; sum of ids = %v\n",
+				cast, t.N, sum)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated time: %v\n", stats.Elapsed)
+}

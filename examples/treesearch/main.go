@@ -1,0 +1,41 @@
+// Treesearch: the Unbalanced Tree Search benchmark through its public
+// API, comparing the baseline round-robin stealing strategy against the
+// thesis's locality-conscious strategy with rapid diffusion on the
+// Ethernet conduit, where locality matters most (Section 3.3.2). Run
+// with:
+//
+//	go run ./examples/treesearch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps/uts"
+	"repro/internal/topo"
+)
+
+func main() {
+	tree := uts.Small(200000)
+	nodes, depth := tree.CountSequential()
+	fmt.Printf("tree: %d nodes, max depth %d (binomial, SHA-1 chained)\n", nodes, depth)
+
+	for _, strategy := range uts.Strategies() {
+		r, err := uts.Run(uts.Config{
+			Machine:     topo.Pyramid(),
+			ConduitName: "gige",
+			Threads:     32,
+			PerNode:     4,
+			Strategy:    strategy,
+			Granularity: 20, // the paper's Ethernet steal chunk
+			Tree:        tree,
+			Seed:        1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s %6.2f Mnodes/s  steals=%5d (%.0f%% local)\n",
+			strategy, r.MNodesPerSec,
+			r.Counters.Get("steals"), r.LocalStealPct())
+	}
+}

@@ -1,0 +1,324 @@
+// Package stream implements the two STREAM triad studies of the thesis:
+// the *twisted* triad of Table 3.1 (odd-even neighbor exchange, comparing
+// baseline shared-pointer access, bulk re-localization, pointer
+// privatization via cast, and an OpenMP-style shared-memory reference) and
+// the *hybrid* triad of Table 4.1 (UPC × OpenMP sub-thread configurations
+// with and without binding). Kernels execute on real data — results are
+// verified element-wise — while memory and translation costs are charged
+// to the virtual clock.
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/subthread"
+	"repro/internal/topo"
+	"repro/internal/upc"
+)
+
+// Variant selects the twisted-triad implementation of Table 3.1.
+type Variant int
+
+const (
+	// Baseline dereferences a shared pointer on every element access.
+	Baseline Variant = iota
+	// Relocalize bulk-copies the neighbor's operands into private buffers,
+	// computes locally, and writes the result back with upc_memput.
+	Relocalize
+	// Cast privatizes the neighbor's partitions with bupc_cast and runs
+	// the triad through plain pointers.
+	Cast
+	// OpenMPRef is the shared-memory reference implementation.
+	OpenMPRef
+)
+
+// String names the variant as in Table 3.1.
+func (v Variant) String() string {
+	switch v {
+	case Baseline:
+		return "UPC baseline"
+	case Relocalize:
+		return "UPC with re-localization"
+	case Cast:
+		return "UPC with cast"
+	case OpenMPRef:
+		return "OpenMP baseline"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// Variants lists the Table 3.1 rows in order.
+func Variants() []Variant { return []Variant{Baseline, Relocalize, Cast, OpenMPRef} }
+
+// Result is one measured configuration.
+type Result struct {
+	Name    string
+	GBps    float64
+	Elapsed sim.Duration
+}
+
+const (
+	triadScalar    = 3.0
+	bytesPerElem   = 24 // read b and c (16B), write a (8B)
+	defaultPerThrd = 1 << 20
+)
+
+// TwistedConfig parameterizes one Table 3.1 run.
+type TwistedConfig struct {
+	Machine      *topo.Machine
+	Threads      int
+	ElemsPerThrd int
+	Variant      Variant
+	Seed         int64
+}
+
+// RunTwisted executes the twisted triad on a single SMP node and reports
+// aggregate triad bandwidth. The kernel verifies its own output.
+func RunTwisted(cfg TwistedConfig) (Result, error) {
+	if cfg.Machine == nil {
+		cfg.Machine = topo.Lehman()
+	}
+	if cfg.Threads == 0 {
+		cfg.Threads = cfg.Machine.CoresPerNode()
+	}
+	if cfg.ElemsPerThrd == 0 {
+		cfg.ElemsPerThrd = defaultPerThrd
+	}
+	n := cfg.ElemsPerThrd
+	total := n * cfg.Threads
+	ucfg := upc.Config{
+		Machine:        cfg.Machine,
+		Threads:        cfg.Threads,
+		ThreadsPerNode: cfg.Threads,
+		Backend:        upc.Processes,
+		PSHM:           true,
+		// Core-blocked binding keeps odd-even neighbor pairs on one
+		// socket, as the paper's bound runs do.
+		Binding: topo.BindCoreBlocked,
+		Seed:    cfg.Seed,
+	}
+	var kernel sim.Duration
+	var errOut error
+	_, err := upc.Run(ucfg, func(t *upc.Thread) {
+		a := upc.Alloc[float64](t, total, 8, n)
+		b := upc.Alloc[float64](t, total, 8, n)
+		c := upc.Alloc[float64](t, total, 8, n)
+		// Initialize own partitions (first touch on own socket).
+		for i := range b.Local(t) {
+			b.Local(t)[i] = float64(t.ID*n + i)
+			c.Local(t)[i] = 2
+		}
+		t.Barrier()
+
+		// The twisted pattern: thread 2k works on 2k+1's partition and
+		// vice versa.
+		peer := t.ID ^ 1
+		if peer >= t.N {
+			peer = t.ID
+		}
+		peerSocket := t.Runtime().PlaceOf(peer).Socket
+
+		start := t.Now()
+		switch cfg.Variant {
+		case Baseline:
+			// Real compute through the peer's segments; cost charged as
+			// three translated shared accesses per element plus the
+			// memory stream from the peer's socket.
+			pa, pb, pc := a.Cast(t, peer), b.Cast(t, peer), c.Cast(t, peer)
+			for i := 0; i < n; i++ {
+				pa[i] = pb[i] + triadScalar*pc[i]
+			}
+			t.ChargeXlate(3 * int64(n))
+			t.MemStreamFrom(bytesPerElem*int64(n), peerSocket)
+		case Relocalize:
+			lb := make([]float64, n)
+			lc := make([]float64, n)
+			la := make([]float64, n)
+			upc.GetT(t, b, lb, peer, 0)
+			upc.GetT(t, c, lc, peer, 0)
+			for i := 0; i < n; i++ {
+				la[i] = lb[i] + triadScalar*lc[i]
+			}
+			t.MemStream(bytesPerElem * int64(n))
+			upc.PutT(t, a, peer, 0, la)
+		case Cast:
+			pa, pb, pc := a.Cast(t, peer), b.Cast(t, peer), c.Cast(t, peer)
+			for i := 0; i < n; i++ {
+				pa[i] = pb[i] + triadScalar*pc[i]
+			}
+			t.MemStreamFrom(bytesPerElem*int64(n), peerSocket)
+		case OpenMPRef:
+			// Shared-memory reference: same twisted access, plain
+			// pointers, no PGAS layer at all.
+			pa, pb, pc := a.Cast(t, peer), b.Cast(t, peer), c.Cast(t, peer)
+			for i := 0; i < n; i++ {
+				pa[i] = pb[i] + triadScalar*pc[i]
+			}
+			t.MemStreamFrom(bytesPerElem*int64(n), peerSocket)
+		}
+		t.Barrier()
+		if t.ID == 0 {
+			kernel = t.Now() - start
+		}
+
+		// Verify: a[peer partition] = b + 3c everywhere.
+		la := a.Local(t)
+		lbv := b.Local(t)
+		lcv := c.Local(t)
+		for i := range la {
+			want := lbv[i] + triadScalar*lcv[i]
+			if la[i] != want && errOut == nil {
+				errOut = fmt.Errorf("stream: thread %d element %d = %g, want %g",
+					t.ID, i, la[i], want)
+			}
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if errOut != nil {
+		return Result{}, errOut
+	}
+	gbps := float64(total) * bytesPerElem / kernel.Seconds() / 1e9
+	return Result{Name: cfg.Variant.String(), GBps: gbps, Elapsed: kernel}, nil
+}
+
+// Table31 regenerates Table 3.1 on the Lehman node model.
+func Table31(seed int64) ([]Result, error) {
+	out := make([]Result, 0, 4)
+	for _, v := range Variants() {
+		r, err := RunTwisted(TwistedConfig{Variant: v, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// HybridConfig parameterizes one Table 4.1 row: UPCThreads masters, each
+// with SubThreads sub-threads (1×1 meaning plain single-thread).
+type HybridConfig struct {
+	Machine      *topo.Machine
+	UPCThreads   int
+	SubThreads   int
+	Bound        bool
+	FirstTouch   bool // sub-threads first-touch their chunks (pure-OpenMP style)
+	ElemsPerThrd int  // per sub-thread
+	Seed         int64
+}
+
+// RunHybrid executes the hybrid UPC×OpenMP triad of Table 4.1 and reports
+// aggregate bandwidth.
+func RunHybrid(cfg HybridConfig) (Result, error) {
+	if cfg.Machine == nil {
+		cfg.Machine = topo.Lehman()
+	}
+	if cfg.ElemsPerThrd == 0 {
+		cfg.ElemsPerThrd = defaultPerThrd
+	}
+	n := cfg.ElemsPerThrd * cfg.SubThreads // per UPC thread
+	total := n * cfg.UPCThreads
+	ucfg := upc.Config{
+		Machine:        cfg.Machine,
+		Threads:        cfg.UPCThreads,
+		ThreadsPerNode: cfg.UPCThreads,
+		Backend:        upc.Processes,
+		PSHM:           true,
+		Binding:        topo.BindSocketRR, // numactl round-robin, as the paper
+		Seed:           cfg.Seed,
+	}
+	var kernel sim.Duration
+	var errOut error
+	_, err := upc.Run(ucfg, func(t *upc.Thread) {
+		a := upc.Alloc[float64](t, total, 8, n)
+		b := upc.Alloc[float64](t, total, 8, n)
+		c := upc.Alloc[float64](t, total, 8, n)
+		for i := range b.Local(t) {
+			b.Local(t)[i] = float64(i)
+			c.Local(t)[i] = 2
+		}
+		tm, err := subthread.NewTeam(t, subthread.Config{
+			Kind:   subthread.OMP,
+			N:      cfg.SubThreads,
+			Bound:  cfg.Bound,
+			Safety: subthread.Funneled,
+		})
+		if err != nil {
+			errOut = err
+			return
+		}
+		t.Barrier()
+		start := t.Now()
+		la, lb, lc := a.Local(t), b.Local(t), c.Local(t)
+		per := cfg.ElemsPerThrd
+		tm.ParallelFor(cfg.SubThreads, func(s *subthread.Sub, w int) {
+			lo, hi := w*per, (w+1)*per
+			for i := lo; i < hi; i++ {
+				la[i] = lb[i] + triadScalar*lc[i]
+			}
+			if cfg.FirstTouch {
+				s.MemStreamHomed(bytesPerElem*int64(hi-lo), s.Place.Socket)
+			} else {
+				s.MemStream(bytesPerElem * int64(hi-lo))
+			}
+		})
+		t.Barrier()
+		if t.ID == 0 {
+			kernel = t.Now() - start
+		}
+		for i := range la {
+			if want := lb[i] + triadScalar*lc[i]; la[i] != want && errOut == nil {
+				errOut = fmt.Errorf("stream: hybrid element %d = %g, want %g", i, la[i], want)
+			}
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if errOut != nil {
+		return Result{}, errOut
+	}
+	name := fmt.Sprintf("UPC*OpenMP %d*%d", cfg.UPCThreads, cfg.SubThreads)
+	if !cfg.Bound {
+		name += " (unbound)"
+	}
+	gbps := float64(total) * bytesPerElem / kernel.Seconds() / 1e9
+	return Result{Name: name, GBps: gbps, Elapsed: kernel}, nil
+}
+
+// Table41 regenerates Table 4.1 on the Lehman node model: pure UPC, pure
+// OpenMP, and the 1×8 / 2×4 / 4×2 hybrid configurations.
+func Table41(seed int64) ([]Result, error) {
+	var out []Result
+
+	pureUPC, err := RunHybrid(HybridConfig{UPCThreads: 8, SubThreads: 1, Bound: true, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	pureUPC.Name = "UPC 8"
+	out = append(out, pureUPC)
+
+	// The pure OpenMP reference is not socket-confined (no numactl): its
+	// threads scatter across both sockets and first-touch their chunks.
+	pureOMP, err := RunHybrid(HybridConfig{UPCThreads: 1, SubThreads: 8, Bound: false,
+		FirstTouch: true, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	pureOMP.Name = "OpenMP 8"
+	out = append(out, pureOMP)
+
+	for _, c := range []struct {
+		u, s  int
+		bound bool
+	}{{1, 8, false}, {2, 4, true}, {4, 2, true}} {
+		r, err := RunHybrid(HybridConfig{UPCThreads: c.u, SubThreads: c.s, Bound: c.bound, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

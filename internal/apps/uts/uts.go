@@ -1,0 +1,467 @@
+package uts
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/perf"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/upc"
+)
+
+// Strategy selects the work-stealing policy (Section 3.3.2.1).
+type Strategy int
+
+const (
+	// BaselineRR is the original UPC implementation's policy: probe
+	// victims round-robin starting after the thief's own id.
+	BaselineRR Strategy = iota
+	// LocalSteal probes same-node (thread-group) victims first, accessed
+	// through the pre-cast pointer table, before probing remote threads.
+	LocalSteal
+	// LocalRapid adds rapid work diffusion: a thief takes half of the
+	// victim's available work when the victim's stack is rich enough,
+	// bisecting the workload across groups.
+	LocalRapid
+)
+
+// String names the strategy as in Figure 3.3's legend.
+func (s Strategy) String() string {
+	switch s {
+	case LocalSteal:
+		return "local-stealing"
+	case LocalRapid:
+		return "local-stealing + rapid-diffusion"
+	}
+	return "baseline"
+}
+
+// Strategies lists the Figure 3.3 variants in order.
+func Strategies() []Strategy { return []Strategy{BaselineRR, LocalSteal, LocalRapid} }
+
+// Config parameterizes one UTS execution.
+type Config struct {
+	Machine     *topo.Machine
+	ConduitName string // "" = machine default ("ibv-ddr", "gige", ...)
+	Threads     int
+	PerNode     int
+	Strategy    Strategy
+	Granularity int // steal chunk (paper: 8 on InfiniBand, 20 on Ethernet)
+	Batch       int // nodes processed per virtual-time charge (default 256)
+	Capacity    int // shared steal-stack region capacity (default 8192)
+	NodeCost    float64
+	Tree        TreeSpec
+	Seed        int64
+}
+
+// defaultNodeCost is the modeled per-node processing time (seconds),
+// calibrated so per-thread throughput sits near the paper's ~1.8 M
+// nodes/s.
+const defaultNodeCost = 0.52e-6
+
+// Result summarizes one UTS execution.
+type Result struct {
+	Nodes    int64
+	MaxDepth uint32
+	Elapsed  sim.Duration
+	// MNodesPerSec is the Figure 3.3 metric.
+	MNodesPerSec float64
+	// Counters: nodes, steals, steals_local, probes, probes_failed,
+	// releases, stolen_nodes.
+	Counters perf.Counters
+}
+
+// LocalStealPct reports the percentage of successful steals that hit a
+// same-node victim (Table 3.2).
+func (r Result) LocalStealPct() float64 {
+	if s := r.Counters.Get("steals"); s > 0 {
+		return 100 * float64(r.Counters.Get("steals_local")) / float64(s)
+	}
+	return 0
+}
+
+// global is the run-wide coordination record shared by all threads.
+type global struct {
+	idle        int
+	sharedTotal int64
+	done        bool
+	q           sim.WaitQueue
+	nodes       int64
+	maxDepth    uint32
+	counters    perf.Counters
+}
+
+// Run executes the benchmark and verifies the traversal against the
+// sequential node count.
+func Run(cfg Config) (Result, error) {
+	if cfg.Machine == nil {
+		cfg.Machine = topo.Pyramid()
+	}
+	if err := cfg.Tree.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Threads <= 0 || cfg.PerNode <= 0 {
+		return Result{}, fmt.Errorf("uts: Threads=%d PerNode=%d", cfg.Threads, cfg.PerNode)
+	}
+	if cfg.Granularity <= 0 {
+		cfg.Granularity = 8
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 256
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 8192
+	}
+	if cfg.NodeCost <= 0 {
+		cfg.NodeCost = defaultNodeCost
+	}
+	var cond *fabric.Conduit
+	if cfg.ConduitName != "" {
+		c, ok := fabric.ConduitByName(cfg.ConduitName)
+		if !ok {
+			return Result{}, fmt.Errorf("uts: unknown conduit %q", cfg.ConduitName)
+		}
+		cond = &c
+	}
+	ucfg := upc.Config{
+		Machine:        cfg.Machine,
+		Conduit:        cond,
+		Threads:        cfg.Threads,
+		ThreadsPerNode: cfg.PerNode,
+		Backend:        upc.Processes, // paper: process-based with PSHM
+		PSHM:           true,
+		Seed:           cfg.Seed,
+	}
+
+	g := &global{counters: perf.Counters{}}
+	var start, stop sim.Time
+	_, err := upc.Run(ucfg, func(t *upc.Thread) {
+		w := newWorker(t, &cfg, g)
+		t.Barrier()
+		if t.ID == 0 {
+			start = t.Now()
+		}
+		w.run()
+		t.Barrier()
+		if t.ID == 0 {
+			stop = t.Now()
+		}
+		g.counters.Merge(w.c)
+		g.nodes += w.count
+		if w.deepest > g.maxDepth {
+			g.maxDepth = w.deepest
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	wantNodes, wantDepth := cfg.Tree.CountSequential()
+	if g.nodes != wantNodes {
+		return Result{}, fmt.Errorf("uts: parallel traversal visited %d nodes, sequential counted %d",
+			g.nodes, wantNodes)
+	}
+	if g.maxDepth != wantDepth {
+		return Result{}, fmt.Errorf("uts: max depth %d, sequential found %d", g.maxDepth, wantDepth)
+	}
+	elapsed := stop - start
+	return Result{
+		Nodes:        g.nodes,
+		MaxDepth:     g.maxDepth,
+		Elapsed:      elapsed,
+		MNodesPerSec: float64(g.nodes) / elapsed.Seconds() / 1e6,
+		Counters:     g.counters,
+	}, nil
+}
+
+// meta is one thread's shared-region descriptor: the region holds
+// Avail nodes at [Base, Base+Avail) of the thread's partition, oldest
+// (shallowest, largest-subtree) first. Thieves take from the front.
+type meta struct {
+	Base  int64
+	Avail int64
+}
+
+// worker is one UPC thread's traversal state.
+type worker struct {
+	t   *upc.Thread
+	cfg *Config
+	g   *global
+
+	buf   *upc.Shared[Node] // per-thread shared steal regions
+	cnt   *upc.Shared[meta] // per-thread region descriptors
+	locks []*upc.Lock
+
+	local    []Node // private DFS stack (tail = top)
+	head     int    // bottom index of the live region
+	failures int    // consecutive failed steal sweeps (backoff control)
+	cursor   int    // persistent probe position within victims
+	count    int64
+	deepest  uint32
+	c        perf.Counters
+
+	victims []int // baseline: full probe ring
+	vLocal  []int // locality strategies: same-node victims, probed first
+	vRemote []int // locality strategies: off-node ring behind the cursor
+}
+
+func newWorker(t *upc.Thread, cfg *Config, g *global) *worker {
+	w := &worker{t: t, cfg: cfg, g: g, c: perf.Counters{}}
+	w.buf = upc.Alloc[Node](t, cfg.Capacity*t.N, NodeBytes, cfg.Capacity)
+	w.cnt = upc.Alloc[meta](t, t.N, 16, 1)
+	w.locks = make([]*upc.Lock, t.N)
+	for i := 0; i < t.N; i++ {
+		w.locks[i] = upc.AllocLock(t, i)
+	}
+	if t.ID == 0 {
+		w.local = append(w.local, cfg.Tree.Root())
+	}
+	w.probeOrder()
+	return w
+}
+
+// probeOrder builds the victim lists. The baseline scans one ring of all
+// victims round-robin from id+1 behind a persistent cursor. The locality
+// strategies probe every same-node peer first (through the pre-cast
+// pointer table, nearly free) and keep the persistent cursor for the
+// off-node ring only.
+func (w *worker) probeOrder() {
+	t := w.t
+	if w.cfg.Strategy == BaselineRR {
+		for d := 1; d < t.N; d++ {
+			w.victims = append(w.victims, (t.ID+d)%t.N)
+		}
+		return
+	}
+	group := t.SameNodeThreads()
+	inGroup := make(map[int]bool, len(group))
+	for _, m := range group {
+		inGroup[m] = true
+	}
+	for d := 1; d < t.N; d++ {
+		v := (t.ID + d) % t.N
+		if inGroup[v] {
+			w.vLocal = append(w.vLocal, v)
+		} else {
+			w.vRemote = append(w.vRemote, v)
+		}
+	}
+}
+
+// run is the Figure 3.2 state machine.
+func (w *worker) run() {
+	for {
+		for w.depth() > 0 {
+			w.processBatch()
+			w.maybeRelease()
+		}
+		if w.acquireOwn() {
+			continue
+		}
+		t0 := w.t.Now()
+		ok := w.stealSweep()
+		w.c.Add("ns_sweep", int64(w.t.Now()-t0))
+		if ok {
+			w.failures = 0
+			continue
+		}
+		t0 = w.t.Now()
+		done := w.enterIdle()
+		w.c.Add("ns_idle", int64(w.t.Now()-t0))
+		if done {
+			return
+		}
+		// Work exists somewhere but this sweep missed it (contended locks,
+		// in-flight releases): back off exponentially before rescanning
+		// instead of hammering every victim's counter.
+		w.failures++
+		backoff := sim.Duration(20*sim.Microsecond) << uint(min(w.failures, 7))
+		w.t.P.Advance(backoff)
+	}
+}
+
+func (w *worker) depth() int { return len(w.local) - w.head }
+
+// processBatch pops and expands up to Batch nodes, charging one compute
+// interval for the whole batch (the real SHA-1 work runs regardless).
+func (w *worker) processBatch() {
+	b := w.cfg.Batch
+	done := 0
+	for done < b && w.depth() > 0 {
+		n := w.local[len(w.local)-1]
+		w.local = w.local[:len(w.local)-1]
+		w.count++
+		done++
+		if n.Depth > w.deepest {
+			w.deepest = n.Depth
+		}
+		for i := w.cfg.Tree.NumChildren(n) - 1; i >= 0; i-- {
+			w.local = append(w.local, Child(n, i))
+		}
+	}
+	w.c.Add("nodes", int64(done))
+	w.t.Compute(float64(done) * w.cfg.NodeCost)
+}
+
+// maybeRelease moves surplus bottom-of-stack work into this thread's
+// shared region so thieves can take it.
+func (w *worker) maybeRelease() {
+	chunk := w.cfg.Granularity
+	for w.depth() > 2*chunk {
+		// The descriptor must be read under the lock: a thief may advance
+		// Base between an early read and our write, and a stale write
+		// would resurrect already-stolen slots.
+		w.locks[w.t.ID].Lock(w.t)
+		m := w.cnt.Local(w.t)[0]
+		if int(m.Base+m.Avail)+chunk > w.cfg.Capacity {
+			if int(m.Avail)+chunk > w.cfg.Capacity {
+				w.locks[w.t.ID].Unlock(w.t)
+				return // region genuinely full
+			}
+			// Shift the live region to the front (a local memmove).
+			seg := w.buf.Local(w.t)
+			copy(seg, seg[m.Base:m.Base+m.Avail])
+			w.t.MemStream(2 * m.Avail * NodeBytes)
+			m.Base = 0
+		}
+		moved := w.local[w.head : w.head+chunk]
+		upc.PutT(w.t, w.buf, w.t.ID, int(m.Base+m.Avail), moved)
+		w.head += chunk
+		m.Avail += int64(chunk)
+		upc.WriteElem(w.t, w.cnt, w.t.ID, m)
+		w.locks[w.t.ID].Unlock(w.t)
+		w.g.sharedTotal += int64(chunk)
+		w.c.Add("releases", 1)
+		w.g.q.WakeAll() // idle thieves may find work now
+		w.compact()
+	}
+}
+
+// compact drops the released prefix once it dominates the backing slice.
+func (w *worker) compact() {
+	if w.head > 1024 && w.head*2 > len(w.local) {
+		w.local = append(w.local[:0:0], w.local[w.head:]...)
+		w.head = 0
+	}
+}
+
+// acquireOwn pulls work back from this thread's own shared region.
+func (w *worker) acquireOwn() bool {
+	if w.cnt.Local(w.t)[0].Avail == 0 {
+		return false
+	}
+	w.locks[w.t.ID].Lock(w.t)
+	m := w.cnt.Local(w.t)[0]
+	if m.Avail == 0 {
+		w.locks[w.t.ID].Unlock(w.t)
+		return false
+	}
+	k := m.Avail
+	if k > int64(2*w.cfg.Granularity) {
+		k = int64(2 * w.cfg.Granularity)
+	}
+	got := make([]Node, k)
+	upc.GetT(w.t, w.buf, got, w.t.ID, int(m.Base+m.Avail-k))
+	m.Avail -= k
+	upc.WriteElem(w.t, w.cnt, w.t.ID, m)
+	w.locks[w.t.ID].Unlock(w.t)
+	w.g.sharedTotal -= k
+	w.local = append(w.local, got...)
+	return true
+}
+
+// stealSweep probes victims in strategy order; it reports whether any
+// work was obtained.
+func (w *worker) stealSweep() bool {
+	// Locality strategies: scan the whole node group first, every sweep
+	// (probes through the cast table are nearly free).
+	for _, v := range w.vLocal {
+		if w.tryVictim(v) {
+			return true
+		}
+	}
+	ring := w.victims
+	if w.cfg.Strategy != BaselineRR {
+		ring = w.vRemote
+	}
+	for i := 0; i < len(ring); i++ {
+		// The probe cursor persists across sweeps: a victim that supplied
+		// work stays first in line, and empty victims are not rescanned
+		// on every sweep.
+		if w.tryVictim(ring[(w.cursor+i)%len(ring)]) {
+			w.cursor = (w.cursor + i) % len(ring)
+			return true
+		}
+	}
+	return false
+}
+
+// tryVictim probes one victim and steals on success.
+func (w *worker) tryVictim(v int) bool {
+	{
+		w.c.Add("probes", 1)
+		if upc.ReadElem(w.t, w.cnt, v).Avail == 0 {
+			w.c.Add("probes_failed", 1)
+			return false
+		}
+		// upc_lock_attempt: never queue on a contended victim — another
+		// thief is already draining it; move to the next one.
+		if !w.locks[v].TryLock(w.t) {
+			w.c.Add("probes_contended", 1)
+			return false
+		}
+		m := upc.ReadElem(w.t, w.cnt, v)
+		if m.Avail == 0 {
+			w.locks[v].Unlock(w.t)
+			w.c.Add("probes_failed", 1)
+			return false
+		}
+		k := int64(w.cfg.Granularity)
+		if w.cfg.Strategy == LocalRapid && m.Avail >= int64(2*w.cfg.Granularity) {
+			k = m.Avail / 2 // rapid diffusion: bisect the victim's stack
+		}
+		if k > m.Avail {
+			k = m.Avail
+		}
+		got := make([]Node, k)
+		// Take from the front: the oldest, shallowest entries whose
+		// subtrees are largest.
+		upc.GetT(w.t, w.buf, got, v, int(m.Base))
+		m.Base += k
+		m.Avail -= k
+		upc.WriteElem(w.t, w.cnt, v, m)
+		w.locks[v].Unlock(w.t)
+		w.g.sharedTotal -= k
+		w.c.Add("steals", 1)
+		w.c.Add("stolen_nodes", k)
+		if w.t.Distance(v) != topo.LevelRemote {
+			w.c.Add("steals_local", 1)
+		}
+		w.local = append(w.local, got...)
+		return true
+	}
+}
+
+// enterIdle parks the thread until work appears or global termination is
+// detected; it reports whether the run is over.
+func (w *worker) enterIdle() bool {
+	g := w.g
+	g.idle++
+	for {
+		if g.done {
+			g.idle--
+			return true
+		}
+		if g.idle == w.t.N && g.sharedTotal == 0 {
+			g.done = true
+			g.q.WakeAll()
+			g.idle--
+			return true
+		}
+		if g.sharedTotal > 0 {
+			g.idle--
+			return false
+		}
+		g.q.Wait(w.t.P, "uts-idle")
+	}
+}

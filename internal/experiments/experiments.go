@@ -1,0 +1,323 @@
+// Package experiments regenerates every table and figure of the thesis's
+// evaluation (the per-experiment index of DESIGN.md): each function runs
+// the relevant benchmark sweep on the modeled platforms and renders the
+// same rows or series the paper reports. The quick flag trades sweep
+// breadth for runtime (smaller trees, no SMT points); the shapes are
+// preserved either way.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps/ft"
+	"repro/internal/apps/netbench"
+	"repro/internal/apps/stream"
+	"repro/internal/apps/uts"
+	"repro/internal/report"
+	"repro/internal/topo"
+)
+
+const seed = 1
+
+// Table31 regenerates Table 3.1 (twisted STREAM triad).
+func Table31(w io.Writer) error {
+	rs, err := stream.Table31(seed)
+	if err != nil {
+		return err
+	}
+	paper := []string{"3.2", "7.2", "23.2", "23.4"}
+	rows := make([][]string, len(rs))
+	for i, r := range rs {
+		rows[i] = []string{r.Name, fmt.Sprintf("%.1f", r.GBps), paper[i]}
+	}
+	report.Table(w, "Table 3.1: Performance of the Twisted STREAM Triad (GB/s)",
+		[]string{"variant", "model", "paper"}, rows)
+	return nil
+}
+
+// Table41 regenerates Table 4.1 (hybrid STREAM triad).
+func Table41(w io.Writer) error {
+	rs, err := stream.Table41(seed)
+	if err != nil {
+		return err
+	}
+	paper := map[string]string{
+		"UPC 8":                    "24.5",
+		"OpenMP 8":                 "23.7",
+		"UPC*OpenMP 1*8 (unbound)": "13.9",
+		"UPC*OpenMP 2*4":           "24.7",
+		"UPC*OpenMP 4*2":           "24.7",
+	}
+	rows := make([][]string, len(rs))
+	for i, r := range rs {
+		rows[i] = []string{r.Name, fmt.Sprintf("%.1f", r.GBps), paper[r.Name]}
+	}
+	report.Table(w, "Table 4.1: Performance of the STREAM Triad (GB/s)",
+		[]string{"configuration", "model", "paper"}, rows)
+	return nil
+}
+
+// utsTree picks the tree size: the paper's 4.35M-node realization, or a
+// ~400K-node tree for quick runs.
+func utsTree(quick bool) uts.TreeSpec {
+	if quick {
+		return uts.Small(400000)
+	}
+	return uts.Paper4M()
+}
+
+// utsConfig builds a Figure 3.3 configuration point.
+func utsConfig(conduit string, procs int, strat uts.Strategy, quick bool) uts.Config {
+	gran := 8
+	if conduit == "gige" {
+		gran = 20
+	}
+	return uts.Config{
+		Machine:     topo.Pyramid(),
+		ConduitName: conduit,
+		Threads:     procs,
+		PerNode:     procs / 16, // the paper's fixed 16 nodes
+		Strategy:    strat,
+		Granularity: gran,
+		Batch:       64,
+		Tree:        utsTree(quick),
+		Seed:        seed,
+	}
+}
+
+// Figure33 regenerates Figure 3.3 (UTS parallel scalability on 16 nodes,
+// InfiniBand and Ethernet panels).
+func Figure33(w io.Writer, quick bool) error {
+	for _, conduit := range []string{"ibv-ddr", "gige"} {
+		series := make([]report.Series, len(uts.Strategies()))
+		for si, st := range uts.Strategies() {
+			series[si].Label = st.String()
+			for _, procs := range []int{16, 32, 64, 128} {
+				r, err := uts.Run(utsConfig(conduit, procs, st, quick))
+				if err != nil {
+					return err
+				}
+				series[si].X = append(series[si].X, float64(procs))
+				series[si].Y = append(series[si].Y, r.MNodesPerSec)
+			}
+		}
+		report.Figure(w, fmt.Sprintf("Figure 3.3 (%s): UTS scalability, Mnodes/s vs processors", conduit),
+			"procs", series)
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Table32 regenerates Table 3.2 (UTS profiling: overall improvement and
+// local-steal percentages).
+func Table32(w io.Writer, quick bool) error {
+	type row struct {
+		net   string
+		procs int
+	}
+	shapes := []row{
+		{"ibv-ddr", 32}, {"ibv-ddr", 64}, {"ibv-ddr", 128},
+		{"gige", 32}, {"gige", 64}, {"gige", 128},
+	}
+	paper := [][]string{
+		{"3.4%", "36.2", "59.0"}, {"7.1%", "58.1", "82.9"}, {"11.2%", "72.2", "90.9"},
+		{"49.4%", "18.2", "57.8"}, {"66.5%", "40.5", "81.1"}, {"99.5%", "58.1", "89.7"},
+	}
+	rows := make([][]string, 0, len(shapes))
+	for i, sh := range shapes {
+		base, err := uts.Run(utsConfig(sh.net, sh.procs, uts.BaselineRR, quick))
+		if err != nil {
+			return err
+		}
+		opt, err := uts.Run(utsConfig(sh.net, sh.procs, uts.LocalRapid, quick))
+		if err != nil {
+			return err
+		}
+		improve := (base.Elapsed.Seconds()/opt.Elapsed.Seconds() - 1) * 100
+		rows = append(rows, []string{
+			fmt.Sprintf("%s %d/%d", sh.net, sh.procs, sh.procs/16),
+			fmt.Sprintf("%.1f%%", improve),
+			fmt.Sprintf("%.1f", base.LocalStealPct()),
+			fmt.Sprintf("%.1f", opt.LocalStealPct()),
+			paper[i][0], paper[i][1], paper[i][2],
+		})
+	}
+	report.Table(w, "Table 3.2: Profiling Results of UTS (16 nodes)",
+		[]string{"config", "improvement", "local% base", "local% opt",
+			"paper-impr", "paper-base%", "paper-opt%"}, rows)
+	return nil
+}
+
+// fig34Layouts are the x-axis points of Figure 3.4: nodes*perNode.
+func fig34Layouts() []struct{ Threads, PerNode int } {
+	return []struct{ Threads, PerNode int }{
+		{4, 1}, {8, 2}, {16, 2}, {32, 4}, {64, 8},
+	}
+}
+
+// Figure34a regenerates Figure 3.4(a): all-to-all performance improvement
+// over the base runtime for blocking puts.
+func Figure34a(w io.Writer) error {
+	cls, _ := ft.ClassByName("B")
+	modes := []ft.ExchangeMode{ft.ExPSHM, ft.ExPSHMCast, ft.ExPthreads, ft.ExPthreadsCast}
+	series := make([]report.Series, len(modes))
+	for _, lay := range fig34Layouts() {
+		base, err := ft.RunExchange(ft.ExchangeConfig{
+			Machine: topo.Pyramid(), Class: cls, Threads: lay.Threads,
+			PerNode: lay.PerNode, Mode: ft.ExBase, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		for mi, m := range modes {
+			r, err := ft.RunExchange(ft.ExchangeConfig{
+				Machine: topo.Pyramid(), Class: cls, Threads: lay.Threads,
+				PerNode: lay.PerNode, Mode: m, Seed: seed,
+			})
+			if err != nil {
+				return err
+			}
+			series[mi].Label = m.String()
+			series[mi].X = append(series[mi].X, float64(lay.Threads))
+			series[mi].Y = append(series[mi].Y,
+				(base.Total.Seconds()/r.Total.Seconds()-1)*100)
+		}
+	}
+	report.Figure(w, "Figure 3.4(a): all-to-all improvement over base runtime (%), blocking upc_memput",
+		"threads", series)
+	return nil
+}
+
+// Figure34b regenerates Figure 3.4(b): async memput call vs wait time per
+// runtime configuration.
+func Figure34b(w io.Writer) error {
+	cls, _ := ft.ClassByName("B")
+	var rows [][]string
+	for _, lay := range fig34Layouts() {
+		for _, m := range ft.ExchangeModes() {
+			r, err := ft.RunExchange(ft.ExchangeConfig{
+				Machine: topo.Pyramid(), Class: cls, Threads: lay.Threads,
+				PerNode: lay.PerNode, Mode: m, Async: true, Seed: seed,
+			})
+			if err != nil {
+				return err
+			}
+			rows = append(rows, []string{
+				fmt.Sprintf("%d(%d*%d)", lay.Threads, lay.Threads/lay.PerNode, lay.PerNode),
+				m.String(),
+				fmt.Sprintf("%.3f", r.Call.Seconds()),
+				fmt.Sprintf("%.3f", r.Wait.Seconds()),
+			})
+		}
+	}
+	report.Table(w, "Figure 3.4(b): async all-to-all, seconds in calls vs waits (upc_memput_async)",
+		[]string{"nprocs", "runtime", "call(s)", "wait(s)"}, rows)
+	return nil
+}
+
+// Figure42 regenerates Figure 4.2 (multi-link latency and flood
+// bandwidth). panel is "a" (latency) or "b" (bandwidth).
+func Figure42(w io.Writer, panel string, quick bool) error {
+	links := []int{1, 2, 4, 8}
+	var sizes []int64
+	if panel == "a" {
+		sizes = netbench.LatencySizes()
+	} else {
+		sizes = netbench.FloodSizes()
+	}
+	if quick {
+		var trimmed []int64
+		for i, s := range sizes {
+			if i%2 == 0 {
+				trimmed = append(trimmed, s)
+			}
+		}
+		sizes = trimmed
+	}
+	var series []report.Series
+	for _, pthr := range []bool{false, true} {
+		for _, l := range links {
+			if l == 1 && pthr {
+				continue // 1-link pthreads == 1-link processes
+			}
+			label := fmt.Sprintf("%d link", l)
+			if l > 1 {
+				if pthr {
+					label = fmt.Sprintf("%d link pthreads", l)
+				} else {
+					label = fmt.Sprintf("%d link processes", l)
+				}
+			}
+			s := report.Series{Label: label}
+			for _, sz := range sizes {
+				cfg := netbench.Config{Links: l, Pthreads: pthr, Size: sz, Seed: seed}
+				var y float64
+				if panel == "a" {
+					r, err := netbench.Latency(cfg)
+					if err != nil {
+						return err
+					}
+					y = r.RTT.Micros()
+				} else {
+					r, err := netbench.Flood(cfg)
+					if err != nil {
+						return err
+					}
+					y = r.BandwidthMBps
+				}
+				s.X = append(s.X, float64(sz))
+				s.Y = append(s.Y, y)
+			}
+			series = append(series, s)
+		}
+	}
+	title := "Figure 4.2(a): multi-link round-trip latency (us) vs size"
+	if panel == "b" {
+		title = "Figure 4.2(b): multi-link flood bandwidth (MB/s) vs size"
+	}
+	report.Figure(w, title, "bytes", series)
+	return nil
+}
+
+// utsRunQuick runs one UTS configuration and reports throughput in
+// Mnodes/s (helper for the summary).
+func utsRunQuick(conduit string, procs int, optimized bool, quick bool) (float64, error) {
+	strat := uts.BaselineRR
+	if optimized {
+		strat = uts.LocalRapid
+	}
+	r, err := uts.Run(utsConfig(conduit, procs, strat, quick))
+	if err != nil {
+		return 0, err
+	}
+	return r.MNodesPerSec, nil
+}
+
+// All runs every experiment in order, writing each to w.
+func All(w io.Writer, quick bool) error {
+	steps := []struct {
+		name string
+		fn   func() error
+	}{
+		{"Table 3.1", func() error { return Table31(w) }},
+		{"Figure 3.3", func() error { return Figure33(w, quick) }},
+		{"Table 3.2", func() error { return Table32(w, quick) }},
+		{"Figure 3.4(a)", func() error { return Figure34a(w) }},
+		{"Figure 3.4(b)", func() error { return Figure34b(w) }},
+		{"Figure 4.2(a)", func() error { return Figure42(w, "a", quick) }},
+		{"Figure 4.2(b)", func() error { return Figure42(w, "b", quick) }},
+		{"Table 4.1", func() error { return Table41(w) }},
+		{"Figure 4.4", func() error { return Figure44(w, quick) }},
+		{"Figure 4.5", func() error { return Figure45(w, quick) }},
+		{"Figure 4.6", func() error { return Figure46(w, quick) }},
+		{"Summary", func() error { return Summary(w, quick) }},
+	}
+	for _, s := range steps {
+		if err := s.fn(); err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable31Renders(t *testing.T) {
+	var b strings.Builder
+	if err := Table31(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Table 3.1", "UPC baseline", "UPC with cast", "paper"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable41Renders(t *testing.T) {
+	var b strings.Builder
+	if err := Table41(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Table 4.1", "UPC 8", "1*8 (unbound)", "24.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure34aRenders(t *testing.T) {
+	var b strings.Builder
+	if err := Figure34a(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Figure 3.4(a)", "PSHM", "pthreads + cast"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure42Renders(t *testing.T) {
+	var b strings.Builder
+	if err := Figure42(&b, "a", true); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Figure 4.2(a)", "1 link", "8 link pthreads"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("latency output missing %q", want)
+		}
+	}
+	b.Reset()
+	if err := Figure42(&b, "b", true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "flood bandwidth") {
+		t.Error("bandwidth panel missing title")
+	}
+}
+
+func TestUTSHelpers(t *testing.T) {
+	cfg := utsConfig("gige", 32, 0, true)
+	if cfg.Granularity != 20 {
+		t.Errorf("Ethernet granularity = %d, want the paper's 20", cfg.Granularity)
+	}
+	cfg = utsConfig("ibv-ddr", 32, 0, true)
+	if cfg.Granularity != 8 {
+		t.Errorf("InfiniBand granularity = %d, want the paper's 8", cfg.Granularity)
+	}
+	if cfg.PerNode != 2 {
+		t.Errorf("32 procs on 16 nodes => 2 per node, got %d", cfg.PerNode)
+	}
+	full := utsTree(false)
+	if n, _ := full.CountSequential(); n < 4_000_000 {
+		t.Errorf("paper tree realized only %d nodes", n)
+	}
+}
+
+func TestFig34LayoutsMatchPaperLabels(t *testing.T) {
+	// Figure 3.4(b) x labels: 4(4*1), 8(4*2), 16(8*2), 32(8*4), 64(8*8).
+	want := [][2]int{{4, 1}, {8, 2}, {16, 2}, {32, 4}, {64, 8}}
+	got := fig34Layouts()
+	if len(got) != len(want) {
+		t.Fatalf("layout count %d", len(got))
+	}
+	for i, w := range want {
+		if got[i].Threads != w[0] || got[i].PerNode != w[1] {
+			t.Errorf("layout %d = %+v, want %v", i, got[i], w)
+		}
+	}
+}
+
+func TestFtHelperGrids(t *testing.T) {
+	ts := ftThreads(true)
+	if ts[len(ts)-1] != 64 {
+		t.Errorf("quick grid must stop at 64: %v", ts)
+	}
+	ts = ftThreads(false)
+	if ts[len(ts)-1] != 128 {
+		t.Errorf("full grid must include the SMT point: %v", ts)
+	}
+	if perNodeFor(4) != 1 || perNodeFor(64) != 8 || perNodeFor(128) != 16 {
+		t.Error("perNodeFor mapping wrong")
+	}
+	cfgs := fig46Configs(false)
+	if len(cfgs) <= len(fig46Configs(true)) {
+		t.Error("full Figure 4.6 sweep must add configurations")
+	}
+}

@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps/ft"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// ftThreads lists the Lehman strong-scaling points: 1..64 cores on 8 nodes
+// plus the 128-thread SMT point unless quick.
+func ftThreads(quick bool) []int {
+	ts := []int{1, 2, 4, 8, 16, 32, 64}
+	if !quick {
+		ts = append(ts, 128)
+	}
+	return ts
+}
+
+func perNodeFor(threads int) int {
+	if threads <= 8 {
+		return 1
+	}
+	return threads / 8
+}
+
+// Figure44 regenerates Figure 4.4: per-phase speedups of the FT benchmark
+// on Lehman, 1 to 128 threads (the 128-thread points run two SMT threads
+// per core).
+func Figure44(w io.Writer, quick bool) error {
+	cls, _ := ft.ClassByName("B")
+	phases := []string{"evolve", "transpose", "fft1d", "fft2d", "comm-call"}
+	labels := map[string]string{
+		"evolve": "Evolve", "transpose": "Local Transpose",
+		"fft1d": "FFT 1D", "fft2d": "FFT 2D", "comm-call": "All-to-All (split-phase)",
+	}
+	base := map[string]sim.Duration{}
+	series := make([]report.Series, len(phases))
+	for i, ph := range phases {
+		series[i].Label = labels[ph]
+	}
+	for _, threads := range ftThreads(quick) {
+		r, err := ft.Run(ft.Config{
+			Machine: topo.Lehman(), Class: cls, Variant: ft.UPCProcesses,
+			Threads: threads, PerNode: perNodeFor(threads), Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		for i, ph := range phases {
+			d := r.Phases[ph]
+			if ph == "comm-call" {
+				d += r.Phases["comm-wait"]
+			}
+			if threads == 1 {
+				base[ph] = d
+			}
+			speedup := 0.0
+			if d > 0 {
+				speedup = float64(base[ph]) / float64(d)
+			}
+			series[i].X = append(series[i].X, float64(threads))
+			series[i].Y = append(series[i].Y, speedup)
+		}
+	}
+	report.Figure(w, "Figure 4.4: NAS FT runtime performance breakdown (speedup vs 1 thread, Lehman)",
+		"threads", series)
+	return nil
+}
+
+// Figure45 regenerates Figure 4.5: time in communication calls of the
+// split-phase implementation, per platform.
+func Figure45(w io.Writer, quick bool) error {
+	cls, _ := ft.ClassByName("B")
+	type platform struct {
+		name  string
+		mach  *topo.Machine
+		nodes int
+		cores []int
+	}
+	plats := []platform{
+		{"Lehman (8 nodes)", topo.Lehman(), 8, []int{8, 16, 32, 64, 128}},
+		{"Pyramid (16 nodes)", topo.Pyramid(), 16, []int{16, 32, 64, 128}},
+	}
+	for _, pl := range plats {
+		cores := pl.cores
+		if quick {
+			cores = cores[:len(cores)-1] // skip the most expensive point
+		}
+		series := []report.Series{
+			{Label: "MPI"}, {Label: "UPC (processes)"},
+			{Label: "UPC (pthreads)"}, {Label: "UPC*Threads (hybrid)"},
+		}
+		for _, total := range cores {
+			per := total / pl.nodes
+			if per < 1 {
+				continue
+			}
+			x := float64(total)
+			run := func(v ft.Variant, threads, perNode, subs int) (float64, error) {
+				r, err := ft.Run(ft.Config{
+					Machine: pl.mach, Class: cls, Variant: v, Impl: ft.SplitPhase,
+					Threads: threads, PerNode: perNode, SubThreads: subs, Seed: seed,
+				})
+				if err != nil {
+					return 0, err
+				}
+				return r.Comm.Seconds(), nil
+			}
+			y, err := run(ft.MPIFortran, total, per, 0)
+			if err != nil {
+				return err
+			}
+			series[0].X = append(series[0].X, x)
+			series[0].Y = append(series[0].Y, y)
+			y, err = run(ft.UPCProcesses, total, per, 0)
+			if err != nil {
+				return err
+			}
+			series[1].X = append(series[1].X, x)
+			series[1].Y = append(series[1].Y, y)
+			y, err = run(ft.UPCPthreads, total, per, 0)
+			if err != nil {
+				return err
+			}
+			series[2].X = append(series[2].X, x)
+			series[2].Y = append(series[2].Y, y)
+			// Hybrid: two masters per node, sub-threads filling the rest.
+			masters := 2 * pl.nodes
+			subs := total / masters
+			if subs < 1 {
+				masters, subs = total, 1
+			}
+			y, err = run(ft.HybridOMP, masters, masters/pl.nodes, subs)
+			if err != nil {
+				return err
+			}
+			series[3].X = append(series[3].X, x)
+			series[3].Y = append(series[3].Y, y)
+		}
+		report.Figure(w, fmt.Sprintf("Figure 4.5: split-phase communication time (s), %s", pl.name),
+			"cores", series)
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// fig46Configs are the UPC*Threads configurations of Figure 4.6 on 8
+// Lehman nodes (masters * sub-threads).
+func fig46Configs(quick bool) []struct{ U, S int } {
+	cfgs := []struct{ U, S int }{
+		{8, 1}, {8, 2}, {16, 1}, {16, 2}, {32, 1}, {32, 2}, {16, 4}, {8, 8},
+	}
+	if !quick {
+		cfgs = append(cfgs, struct{ U, S int }{32, 4}, struct{ U, S int }{64, 2}, struct{ U, S int }{16, 8})
+	}
+	return cfgs
+}
+
+// Figure46 regenerates Figure 4.6(a,b): relative performance of the
+// sub-thread variants over process UPC, for split-phase and overlap.
+func Figure46(w io.Writer, quick bool) error {
+	cls, _ := ft.ClassByName("B")
+	for _, impl := range []ft.Impl{ft.SplitPhase, ft.Overlap} {
+		// Baselines: process UPC at each total-thread count.
+		base := map[int]float64{}
+		variants := []ft.Variant{ft.HybridOMP, ft.HybridCilk, ft.HybridPool, ft.UPCPthreads}
+		series := make([]report.Series, len(variants))
+		for i, v := range variants {
+			series[i].Label = v.String()
+		}
+		for _, c := range fig46Configs(quick) {
+			total := c.U * c.S
+			if _, ok := base[total]; !ok {
+				r, err := ft.Run(ft.Config{
+					Machine: topo.Lehman(), Class: cls, Variant: ft.UPCProcesses,
+					Impl: impl, Threads: total, PerNode: perNodeFor(total), Seed: seed,
+				})
+				if err != nil {
+					return err
+				}
+				base[total] = r.Elapsed.Seconds()
+			}
+			x := float64(c.U*1000 + c.S) // encodes the U*S label
+			for i, v := range variants {
+				var r ft.Result
+				var err error
+				if v == ft.UPCPthreads {
+					r, err = ft.Run(ft.Config{
+						Machine: topo.Lehman(), Class: cls, Variant: v, Impl: impl,
+						Threads: total, PerNode: perNodeFor(total), Seed: seed,
+					})
+				} else {
+					r, err = ft.Run(ft.Config{
+						Machine: topo.Lehman(), Class: cls, Variant: v, Impl: impl,
+						Threads: c.U, PerNode: perNodeFor(c.U), SubThreads: c.S, Seed: seed,
+					})
+				}
+				if err != nil {
+					return err
+				}
+				series[i].X = append(series[i].X, x)
+				series[i].Y = append(series[i].Y, (base[total]/r.Elapsed.Seconds()-1)*100)
+			}
+		}
+		report.Figure(w,
+			fmt.Sprintf("Figure 4.6 (%v): improvement over UPC processes (%%); x = masters*1000+subs", impl),
+			"U*S", series)
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Summary prints the thesis's two headline conclusions against the model.
+func Summary(w io.Writer, quick bool) error {
+	cls, _ := ft.ClassByName("B")
+	pure, err := ft.Run(ft.Config{
+		Machine: topo.Lehman(), Class: cls, Variant: ft.UPCProcesses,
+		Threads: 64, PerNode: 8, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	hyb, err := ft.Run(ft.Config{
+		Machine: topo.Lehman(), Class: cls, Variant: ft.HybridOMP,
+		Threads: 16, PerNode: 2, SubThreads: 4, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	ftGain := pure.Elapsed.Seconds() / hyb.Elapsed.Seconds()
+
+	base, err := utsRunQuick("gige", 128, false, quick)
+	if err != nil {
+		return err
+	}
+	opt, err := utsRunQuick("gige", 128, true, quick)
+	if err != nil {
+		return err
+	}
+	utsGain := opt / base
+
+	report.Table(w, "Headline conclusions (paper vs model)",
+		[]string{"claim", "paper", "model"},
+		[][]string{
+			{"NAS FT hybrid UPC*threads speedup over process UPC (64 cores)",
+				"1.4x", fmt.Sprintf("%.2fx", ftGain)},
+			{"UTS thread-group speedup on Ethernet, 8-way SMP nodes",
+				"2.0x", fmt.Sprintf("%.2fx", utsGain)},
+		})
+	return nil
+}

@@ -1,0 +1,381 @@
+package fabric
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// workScale converts seconds of core work into flow units so that the
+// fluid engine's byte-scale epsilon is negligible (1 unit = 1 ns of work).
+const workScale = 1e9
+
+// Cluster instantiates a machine model's resources on a simulation engine:
+// one core link per physical core (capacity = SMT combined throughput, per
+// computation capped at 1.0 so a lone thread runs at full speed), one
+// memory-controller link per socket, and per-node NIC egress/ingress
+// links.
+type Cluster struct {
+	Eng     *sim.Engine
+	Mach    *topo.Machine
+	Net     *Net
+	Conduit Conduit
+
+	cores   []*Link // [node*coresPerNode + core]
+	mem     []*Link // [node*socketsPerNode + socket]
+	egress  []*Link // [node]
+	ingress []*Link // [node]
+}
+
+// NewCluster wires machine m onto engine e with the given conduit. It
+// panics on an invalid machine (a construction-time programming error).
+func NewCluster(e *sim.Engine, m *topo.Machine, cond Conduit) *Cluster {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cluster{Eng: e, Mach: m, Net: NewNet(e), Conduit: cond}
+	nCores := m.TotalCores()
+	c.cores = make([]*Link, nCores)
+	for i := range c.cores {
+		c.cores[i] = NewLink(fmt.Sprintf("core%d", i), m.SMTThroughput*workScale)
+	}
+	nSock := m.Nodes * m.SocketsPerNode
+	c.mem = make([]*Link, nSock)
+	for i := range c.mem {
+		c.mem[i] = NewLink(fmt.Sprintf("mem%d", i), m.MemBWSocket)
+	}
+	c.egress = make([]*Link, m.Nodes)
+	c.ingress = make([]*Link, m.Nodes)
+	for i := 0; i < m.Nodes; i++ {
+		c.egress[i] = NewLink(fmt.Sprintf("nic-tx%d", i), cond.NICBW)
+		c.egress[i].Beta = cond.NICBeta
+		c.ingress[i] = NewLink(fmt.Sprintf("nic-rx%d", i), cond.NICBW)
+		c.ingress[i].Beta = cond.NICBeta
+	}
+	return c
+}
+
+// CoreLink reports the core resource for a hardware place.
+func (c *Cluster) CoreLink(pl topo.Place) *Link {
+	return c.cores[pl.GlobalCore(c.Mach)]
+}
+
+// MemLink reports the memory-controller resource of a socket.
+func (c *Cluster) MemLink(node, socket int) *Link {
+	return c.mem[node*c.Mach.SocketsPerNode+socket]
+}
+
+// Compute charges seconds of core work at place pl, contending with any
+// other computation on the same core (SMT sharing).
+func (c *Cluster) Compute(p *sim.Proc, pl topo.Place, seconds float64) {
+	if seconds <= 0 {
+		return
+	}
+	c.Net.Transfer(p, int64(seconds*workScale+0.5), workScale, c.CoreLink(pl))
+}
+
+// MemRate reports the effective point-to-point copy *payload* bandwidth
+// between two places on the same node, before contention. A copy both
+// reads and writes, so the payload rate is half the controller bandwidth,
+// NUMA-penalized across sockets.
+func (c *Cluster) MemRate(from, to topo.Place) float64 {
+	if !topo.SameNode(from, to) {
+		return 0
+	}
+	if from.Socket == to.Socket {
+		return c.Mach.MemBWSocket / 2
+	}
+	return c.Mach.MemBWSocket / c.Mach.NUMAFactor / 2
+}
+
+// MemCopy moves size bytes between two places on one node through the
+// socket memory controllers, charging the per-operation overhead first.
+// Cross-socket copies traverse both controllers and pay the NUMA factor.
+func (c *Cluster) MemCopy(p *sim.Proc, from, to topo.Place, size int64, overhead sim.Duration) {
+	if !topo.SameNode(from, to) {
+		panic("fabric: MemCopy across nodes")
+	}
+	if overhead > 0 {
+		p.Advance(overhead)
+	}
+	if size <= 0 {
+		return
+	}
+	if from.Socket == to.Socket {
+		// A same-socket copy reads and writes through one controller:
+		// 2x the payload crosses the link.
+		c.Net.Transfer(p, 2*size, 0, c.MemLink(from.Node, from.Socket))
+		return
+	}
+	// Cross-socket: the payload crosses the interconnect once, touching
+	// both controllers; the flow cap encodes the 2x read+write traffic and
+	// the NUMA penalty.
+	cap := c.Mach.MemBWSocket / c.Mach.NUMAFactor / 2
+	c.Net.Transfer(p, size, cap,
+		c.MemLink(from.Node, from.Socket), c.MemLink(to.Node, to.Socket))
+}
+
+// MemCopyAsync starts an intra-node copy without blocking: the caller is
+// charged only the per-operation overhead; the returned handle's events
+// fire when the copy drains (apply, which may be nil, runs then).
+func (c *Cluster) MemCopyAsync(p *sim.Proc, from, to topo.Place, size int64, overhead sim.Duration, apply func()) *NetOp {
+	if !topo.SameNode(from, to) {
+		panic("fabric: MemCopyAsync across nodes")
+	}
+	if overhead > 0 {
+		p.Advance(overhead)
+	}
+	op := &NetOp{}
+	var flow *FlowOp
+	if from.Socket == to.Socket {
+		// Read + write through one controller: 2x the payload.
+		flow = c.Net.Start(2*size, 0, c.MemLink(from.Node, from.Socket))
+	} else {
+		cap := c.Mach.MemBWSocket / c.Mach.NUMAFactor / 2
+		flow = c.Net.Start(size, cap,
+			c.MemLink(from.Node, from.Socket), c.MemLink(to.Node, to.Socket))
+	}
+	flow.OnComplete(func() {
+		if apply != nil {
+			apply()
+		}
+		op.Local.Fire()
+		op.Remote.Fire()
+	})
+	return op
+}
+
+// MemTouch charges streaming access of size bytes at a place whose backing
+// memory lives on homeSocket of the same node (e.g. first-touch placement),
+// without a distinct destination. Used by bandwidth-bound kernels.
+func (c *Cluster) MemTouch(p *sim.Proc, at topo.Place, homeSocket int, size int64) {
+	if size <= 0 {
+		return
+	}
+	if at.Socket == homeSocket {
+		c.Net.Transfer(p, size, 0, c.MemLink(at.Node, at.Socket))
+		return
+	}
+	cap := c.Mach.MemBWSocket / c.Mach.NUMAFactor
+	c.Net.Transfer(p, size, cap, c.MemLink(at.Node, homeSocket))
+}
+
+// Endpoint is a network attachment point: one per process in the
+// process-based backend, one per node in the pthreads backend (threads
+// share the node's single connection, the paper's central contrast).
+type Endpoint struct {
+	c     *Cluster
+	node  int
+	gapTx sim.Server // injection-port serialization
+	gapRx sim.Server // receive-processing serialization
+	conn  *Link      // this connection's bandwidth
+
+	// Shared marks a connection used by multiple execution contexts (the
+	// pthreads backend). A shared connection serializes the per-message CPU
+	// overheads too — the runtime's network lock is held while a message is
+	// processed — whereas per-process connections pay them concurrently.
+	Shared bool
+}
+
+// MarkShared declares the endpoint a multi-context connection (pthreads
+// backend). Concurrent streams on one connection can together exceed the
+// single-stream rate — Figure 4.2(b) shows eight pthread link-pairs
+// approaching (but not reaching) the NIC limit — so the connection
+// aggregate widens to 95% of NIC bandwidth, with each stream still capped
+// at ConnBW (NIC congestion and the lock's pin serialization are what
+// keep a shared connection below per-process connections in practice).
+func (ep *Endpoint) MarkShared() {
+	ep.Shared = true
+	if agg := 0.95 * ep.c.Conduit.NICBW; agg > ep.conn.Capacity {
+		ep.conn.Capacity = agg
+	}
+}
+
+// zeroCopyThreshold is the message size above which the runtime switches
+// to pinned zero-copy RDMA: the network lock is then held only for setup,
+// not for a bounce-buffer copy of the payload.
+const zeroCopyThreshold = 64 << 10
+
+// txOccupancy reports the injection-port occupancy of one message of the
+// given size. A shared connection additionally holds the network lock for
+// the per-message CPU overhead and — below the zero-copy threshold — the
+// bounce-buffer copy at PinRate, which serializes concurrent mid-size
+// injections (the Figure 4.2a pthread latency effect).
+func (ep *Endpoint) txOccupancy(size int64) sim.Duration {
+	if ep.Shared {
+		locked := size
+		if locked > zeroCopyThreshold {
+			locked = zeroCopyThreshold
+		}
+		return ep.c.Conduit.MsgGap + ep.c.Conduit.SendOverhead +
+			sim.TransferTime(locked, ep.c.Conduit.PinRate)
+	}
+	return ep.c.Conduit.MsgGap
+}
+
+// rxOccupancy reports the receive-processing occupancy of one message.
+func (ep *Endpoint) rxOccupancy() sim.Duration {
+	if ep.Shared {
+		return ep.c.Conduit.RecvOverhead * 2
+	}
+	return ep.c.Conduit.RecvOverhead
+}
+
+// NewEndpoint creates a network connection on the given node.
+func (c *Cluster) NewEndpoint(node int) *Endpoint {
+	if node < 0 || node >= c.Mach.Nodes {
+		panic(fmt.Sprintf("fabric: endpoint on node %d of %d", node, c.Mach.Nodes))
+	}
+	return &Endpoint{
+		c:    c,
+		node: node,
+		conn: NewLink(fmt.Sprintf("conn-n%d", node), c.Conduit.ConnBW),
+	}
+}
+
+// Node reports the endpoint's node.
+func (ep *Endpoint) Node() int { return ep.node }
+
+// NetOp is a handle to an in-flight one-sided operation.
+type NetOp struct {
+	// Local fires when the source buffer is reusable (payload injected).
+	Local sim.Event
+	// Remote fires when the payload has been applied at the target.
+	Remote sim.Event
+}
+
+// WaitLocal suspends p until the source buffer is reusable.
+func (op *NetOp) WaitLocal(p *sim.Proc) { op.Local.Wait(p) }
+
+// WaitRemote suspends p until the operation completed at the target.
+func (op *NetOp) WaitRemote(p *sim.Proc) { op.Remote.Wait(p) }
+
+// PutAsync injects a one-sided put of size bytes from ep to dst. The
+// caller is charged the send overhead and its share of injection
+// serialization; the returned handle's Remote event fires when the data is
+// applied at the target (apply, which may be nil, runs then, in engine
+// context). Same-node endpoints take the conduit's loopback path.
+func (ep *Endpoint) PutAsync(p *sim.Proc, dst *Endpoint, size int64, apply func()) *NetOp {
+	cond := &ep.c.Conduit
+	op := &NetOp{}
+	if !ep.Shared {
+		p.Advance(cond.SendOverhead)
+	}
+	ep.gapTx.Delay(p, ep.txOccupancy(size))
+
+	var flow *FlowOp
+	var lat sim.Duration
+	if dst.node == ep.node {
+		// Network loopback still runs through the HCA: it consumes the
+		// node's NIC resources, which is exactly what PSHM avoids.
+		flow = ep.c.Net.Start(size, cond.LoopbackBW,
+			ep.conn, ep.c.egress[ep.node], ep.c.ingress[ep.node])
+		lat = cond.LoopbackLatency
+	} else {
+		flow = ep.c.Net.Start(size, cond.ConnBW,
+			ep.conn, ep.c.egress[ep.node], ep.c.ingress[dst.node])
+		lat = cond.Latency
+	}
+	flow.OnComplete(func() {
+		op.Local.Fire()
+		eng := ep.c.Eng
+		eng.After(lat, func() {
+			rxDone := dst.gapRx.Schedule(eng.Now(), dst.rxOccupancy())
+			eng.After(rxDone-eng.Now(), func() {
+				if apply != nil {
+					apply()
+				}
+				op.Remote.Fire()
+			})
+		})
+	})
+	return op
+}
+
+// Put is the blocking form of PutAsync: it returns after remote completion
+// has been acknowledged back to the initiator (one extra latency).
+func (ep *Endpoint) Put(p *sim.Proc, dst *Endpoint, size int64, apply func()) {
+	op := ep.PutAsync(p, dst, size, apply)
+	op.WaitRemote(p)
+	if dst.node != ep.node {
+		p.Advance(ep.c.Conduit.Latency) // completion acknowledgement
+	}
+}
+
+// GetAsync injects a one-sided get of size bytes from src into ep's node.
+// The request travels to src as a small control message; the payload
+// streams back on src's connection. apply (may be nil) runs at delivery.
+func (ep *Endpoint) GetAsync(p *sim.Proc, src *Endpoint, size int64, apply func()) *NetOp {
+	cond := &ep.c.Conduit
+	op := &NetOp{}
+	if !ep.Shared {
+		p.Advance(cond.SendOverhead)
+	}
+	ep.gapTx.Delay(p, ep.txOccupancy(size))
+
+	eng := ep.c.Eng
+	sameNode := src.node == ep.node
+	reqLat := cond.Latency
+	if sameNode {
+		reqLat = cond.LoopbackLatency
+	}
+	eng.After(reqLat, func() {
+		// Request processed at the source endpoint.
+		reqDone := src.gapRx.Schedule(eng.Now(), src.rxOccupancy())
+		injStart := src.gapTx.Schedule(reqDone, src.txOccupancy(size))
+		eng.After(injStart-eng.Now(), func() {
+			var flow *FlowOp
+			var lat sim.Duration
+			if sameNode {
+				flow = ep.c.Net.Start(size, cond.LoopbackBW,
+					src.conn, ep.c.egress[src.node], ep.c.ingress[src.node])
+				lat = cond.LoopbackLatency
+			} else {
+				flow = ep.c.Net.Start(size, cond.ConnBW,
+					src.conn, ep.c.egress[src.node], ep.c.ingress[ep.node])
+				lat = cond.Latency
+			}
+			flow.OnComplete(func() {
+				eng.After(lat, func() {
+					rxDone := ep.gapRx.Schedule(eng.Now(), ep.rxOccupancy())
+					eng.After(rxDone-eng.Now(), func() {
+						if apply != nil {
+							apply()
+						}
+						op.Local.Fire() // a get has a single completion
+						op.Remote.Fire()
+					})
+				})
+			})
+		})
+	})
+	return op
+}
+
+// Get is the blocking form of GetAsync.
+func (ep *Endpoint) Get(p *sim.Proc, src *Endpoint, size int64, apply func()) {
+	ep.GetAsync(p, src, size, apply).WaitRemote(p)
+}
+
+// RTT performs a control-message round trip from ep to dst (e.g. a lock
+// acquire or an AM request/reply), charging overheads and injection gaps on
+// both sides, and suspends p for its duration.
+func (ep *Endpoint) RTT(p *sim.Proc, dst *Endpoint) {
+	ep.Get(p, dst, 8, nil)
+}
+
+// BarrierCost estimates the network portion of a dissemination barrier
+// across the given number of nodes: ceil(log2(nodes)) rounds of small
+// messages, plus one intra-node combine.
+func (c *Cluster) BarrierCost(nodes int) sim.Duration {
+	cond := &c.Conduit
+	intra := 2 * cond.LoopbackLatency
+	if nodes <= 1 {
+		return intra
+	}
+	rounds := sim.Duration(math.Ceil(math.Log2(float64(nodes))))
+	perRound := cond.Latency + cond.SendOverhead + cond.RecvOverhead + cond.MsgGap
+	return intra + rounds*perRound
+}

@@ -1,0 +1,243 @@
+// Package fabric models the communication and memory hardware of a
+// cluster: a fluid-flow network engine (links with capacities; each flow
+// advances at the minimum of its own rate cap and its bottleneck link's
+// fair share), conduit parameter sets for the paper's interconnects (QDR
+// and DDR InfiniBand, Gigabit Ethernet), and a Cluster that wires cores,
+// memory controllers, NICs and connection endpoints onto a sim.Engine.
+package fabric
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Link is a bandwidth resource (bytes/second) shared by concurrent flows.
+// A flow crossing several links advances at min over its links of
+// capacity/activeFlows, additionally clipped by the flow's own cap. This
+// is the bottleneck-share approximation of max-min fairness used by fluid
+// network simulators; it is conservative (never over-allocates a link).
+type Link struct {
+	Name     string
+	Capacity float64 // bytes per second; <= 0 means infinitely fast
+	// Beta is the congestion coefficient: with n concurrent flows the
+	// link's effective capacity is Capacity / (1 + Beta*(n-1)), modeling
+	// goodput degradation under heavy multiplexing (QP/DMA thrash on
+	// NICs, incast buffering). Zero means ideal sharing.
+	Beta   float64
+	active int
+}
+
+// maxCongestion bounds the congestion divisor: goodput degrades with
+// concurrent streams but does not collapse without limit.
+const maxCongestion = 2.5
+
+// NewLink returns a link with the given capacity in bytes/second.
+func NewLink(name string, capacity float64) *Link {
+	return &Link{Name: name, Capacity: capacity}
+}
+
+// Active reports the number of flows currently crossing the link.
+func (l *Link) Active() int { return l.active }
+
+// share reports the per-flow bandwidth the link currently offers.
+func (l *Link) share() float64 {
+	if l.Capacity <= 0 {
+		return math.Inf(1)
+	}
+	n := l.active
+	if n < 1 {
+		n = 1
+	}
+	eff := l.Capacity
+	if l.Beta > 0 && n > 1 {
+		d := 1 + l.Beta*float64(n-1)
+		if d > maxCongestion {
+			d = maxCongestion
+		}
+		eff /= d
+	}
+	return eff / float64(n)
+}
+
+// Net is the fluid-flow engine. All flows on one Net recompute their rates
+// whenever any flow starts or finishes; completions within one settling
+// pass batch together. The full recompute is O(F) per event — simple,
+// exact, and cache-friendly; the paper-scale sweeps keep F in the low
+// tens of thousands.
+type Net struct {
+	eng   *sim.Engine
+	flows []*FlowOp
+	last  sim.Time
+	epoch uint64
+}
+
+// NewNet creates a flow engine bound to e.
+func NewNet(e *sim.Engine) *Net { return &Net{eng: e} }
+
+// Engine reports the owning simulation engine.
+func (n *Net) Engine() *sim.Engine { return n.eng }
+
+// Active reports the number of in-flight flows.
+func (n *Net) Active() int { return len(n.flows) }
+
+// FlowOp is an in-flight transfer. Wait on Done (a sim.Event) or use
+// Wait; OnComplete callbacks run in engine context when the flow drains.
+type FlowOp struct {
+	size      int64
+	remaining float64
+	cap       float64 // per-flow rate cap; <= 0 means uncapped
+	links     []*Link
+	rate      float64
+	done      sim.Event
+	onDone    []func()
+}
+
+// Done reports whether the transfer has drained.
+func (f *FlowOp) Done() bool { return f.done.Fired() }
+
+// Wait suspends p until the flow drains.
+func (f *FlowOp) Wait(p *sim.Proc) { f.done.Wait(p) }
+
+// OnComplete registers fn to run in engine context when the flow drains.
+// If the flow already drained, fn runs immediately.
+func (f *FlowOp) OnComplete(fn func()) {
+	if f.done.Fired() {
+		fn()
+		return
+	}
+	f.onDone = append(f.onDone, fn)
+}
+
+// Size reports the flow's total bytes.
+func (f *FlowOp) Size() int64 { return f.size }
+
+// Start launches a transfer of size bytes across the given links, with an
+// optional per-flow rate cap (bytes/second; <= 0 for uncapped). A zero or
+// negative size completes immediately.
+func (n *Net) Start(size int64, cap float64, links ...*Link) *FlowOp {
+	f := &FlowOp{size: size, remaining: float64(size), cap: cap, links: links}
+	if size <= 0 {
+		f.finish()
+		return f
+	}
+	n.account()
+	for _, l := range links {
+		l.active++
+	}
+	n.flows = append(n.flows, f)
+	n.reschedule()
+	return f
+}
+
+// Transfer is the blocking form of Start.
+func (n *Net) Transfer(p *sim.Proc, size int64, cap float64, links ...*Link) {
+	n.Start(size, cap, links...).Wait(p)
+}
+
+func (f *FlowOp) finish() {
+	f.done.Fire()
+	for _, fn := range f.onDone {
+		fn()
+	}
+	f.onDone = nil
+}
+
+// account charges elapsed progress to all flows at their current rates.
+func (n *Net) account() {
+	now := n.eng.Now()
+	if now > n.last {
+		dt := (now - n.last).Seconds()
+		for _, f := range n.flows {
+			f.remaining -= f.rate * dt
+		}
+	}
+	n.last = now
+}
+
+// recomputeRates refreshes every flow's rate from current link shares.
+func (n *Net) recomputeRates() {
+	for _, f := range n.flows {
+		r := math.Inf(1)
+		if f.cap > 0 {
+			r = f.cap
+		}
+		for _, l := range f.links {
+			if s := l.share(); s < r {
+				r = s
+			}
+		}
+		if math.IsInf(r, 1) {
+			// Uncapped flow crossing only infinite links: instantaneous.
+			r = math.MaxFloat64
+		}
+		f.rate = r
+	}
+}
+
+// reschedule completes drained flows, recomputes rates, and books the next
+// completion callback. Completions within completionGrain of the earliest
+// settle together, bounding the number of O(F) recomputes a staggered
+// drain can trigger while keeping the timing error to a 2^-10 fraction of
+// each flow's own duration.
+func (n *Net) reschedule() {
+	const eps = 1e-6 // bytes
+	for {
+		kept := n.flows[:0]
+		var finished []*FlowOp
+		for _, f := range n.flows {
+			if f.remaining <= eps {
+				for _, l := range f.links {
+					l.active--
+				}
+				finished = append(finished, f)
+			} else {
+				kept = append(kept, f)
+			}
+		}
+		for i := len(kept); i < len(n.flows); i++ {
+			n.flows[i] = nil
+		}
+		n.flows = kept
+		for _, f := range finished {
+			f.finish()
+		}
+		if len(finished) == 0 {
+			break
+		}
+		// Completion callbacks may have started new flows; loop to settle.
+	}
+	n.recomputeRates()
+	n.epoch++
+	if len(n.flows) == 0 {
+		return
+	}
+	next := math.Inf(1)
+	for _, f := range n.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		if t := f.remaining / f.rate; t < next {
+			next = t
+		}
+	}
+	if math.IsInf(next, 1) {
+		return // no flow can progress; caller bug, surfaces as deadlock
+	}
+	dt := sim.FromSeconds(next)
+	// Relative quantization: push the wake slightly past the earliest
+	// completion so that near-simultaneous completions batch into one
+	// settling pass instead of each paying an O(F) recompute.
+	dt += dt >> 10
+	if dt < 1 {
+		dt = 1
+	}
+	epoch := n.epoch
+	n.eng.After(dt, func() {
+		if n.epoch != epoch {
+			return
+		}
+		n.account()
+		n.reschedule()
+	})
+}

@@ -1,0 +1,182 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestFlowSingleLink(t *testing.T) {
+	e := sim.New(1)
+	n := NewNet(e)
+	l := NewLink("l", 1000)
+	var done sim.Time
+	e.Go("p", func(p *sim.Proc) {
+		n.Transfer(p, 500, 0, l)
+		done = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := sim.Time(500 * sim.Millisecond); abs(done-want) > sim.Millisecond {
+		t.Errorf("done at %v, want ~%v", done, want)
+	}
+}
+
+func TestFlowBottleneckIsMinShare(t *testing.T) {
+	e := sim.New(1)
+	n := NewNet(e)
+	fast := NewLink("fast", 1e6)
+	slow := NewLink("slow", 1000)
+	var done sim.Time
+	e.Go("p", func(p *sim.Proc) {
+		n.Transfer(p, 1000, 0, fast, slow)
+		done = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := sim.Time(sim.Second); abs(done-want) > sim.Millisecond {
+		t.Errorf("bottleneck transfer done at %v, want ~%v", done, want)
+	}
+}
+
+func TestFlowCapClips(t *testing.T) {
+	e := sim.New(1)
+	n := NewNet(e)
+	l := NewLink("l", 1e9)
+	var done sim.Time
+	e.Go("p", func(p *sim.Proc) {
+		n.Transfer(p, 1000, 1000, l) // capped to 1000 B/s
+		done = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := sim.Time(sim.Second); abs(done-want) > sim.Millisecond {
+		t.Errorf("capped transfer done at %v, want ~%v", done, want)
+	}
+}
+
+func TestSharedLinkSplitsBandwidth(t *testing.T) {
+	e := sim.New(1)
+	n := NewNet(e)
+	l := NewLink("l", 1000)
+	var worst sim.Time
+	for i := 0; i < 4; i++ {
+		e.Go(fmt.Sprintf("f%d", i), func(p *sim.Proc) {
+			n.Transfer(p, 250, 0, l)
+			if p.Now() > worst {
+				worst = p.Now()
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := sim.Time(sim.Second); abs(worst-want) > 2*sim.Millisecond {
+		t.Errorf("4×250B on 1000B/s finished at %v, want ~%v", worst, want)
+	}
+}
+
+func TestDisjointLinksDoNotInterfere(t *testing.T) {
+	e := sim.New(1)
+	n := NewNet(e)
+	a := NewLink("a", 1000)
+	b := NewLink("b", 1000)
+	var doneA, doneB sim.Time
+	e.Go("fa", func(p *sim.Proc) { n.Transfer(p, 1000, 0, a); doneA = p.Now() })
+	e.Go("fb", func(p *sim.Proc) { n.Transfer(p, 1000, 0, b); doneB = p.Now() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Time(sim.Second)
+	if abs(doneA-want) > sim.Millisecond || abs(doneB-want) > sim.Millisecond {
+		t.Errorf("independent flows at %v, %v; want ~%v each", doneA, doneB, want)
+	}
+}
+
+func TestZeroSizeCompletesImmediately(t *testing.T) {
+	e := sim.New(1)
+	n := NewNet(e)
+	l := NewLink("l", 10)
+	f := n.Start(0, 0, l)
+	if !f.Done() {
+		t.Error("zero-size flow must complete instantly")
+	}
+	ran := false
+	f.OnComplete(func() { ran = true })
+	if !ran {
+		t.Error("OnComplete on a done flow must run immediately")
+	}
+	if l.Active() != 0 {
+		t.Errorf("link active = %d after no-op flow", l.Active())
+	}
+}
+
+func TestOnCompleteChainsNewFlow(t *testing.T) {
+	e := sim.New(1)
+	n := NewNet(e)
+	l := NewLink("l", 1000)
+	var secondDone sim.Time
+	e.Go("p", func(p *sim.Proc) {
+		f1 := n.Start(500, 0, l)
+		var f2 *FlowOp
+		ready := &sim.Event{}
+		f1.OnComplete(func() {
+			f2 = n.Start(500, 0, l)
+			ready.Fire()
+		})
+		ready.Wait(p)
+		f2.Wait(p)
+		secondDone = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := sim.Time(sim.Second); abs(secondDone-want) > 2*sim.Millisecond {
+		t.Errorf("chained flows done at %v, want ~%v", secondDone, want)
+	}
+}
+
+func TestLinkAccountingBalances(t *testing.T) {
+	// Property: after any workload completes, every link has zero active
+	// flows and the makespan is at least total/capacity for a single link.
+	f := func(seed int64, sizes [5]uint16) bool {
+		e := sim.New(seed)
+		n := NewNet(e)
+		l := NewLink("l", 1e6)
+		var total int64
+		var worst sim.Time
+		for i, sz := range sizes {
+			size := int64(sz) + 1
+			total += size
+			e.Go(fmt.Sprintf("f%d", i), func(p *sim.Proc) {
+				p.Advance(sim.Duration(e.Rand().Intn(1000)))
+				n.Transfer(p, size, 0, l)
+				if p.Now() > worst {
+					worst = p.Now()
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if l.Active() != 0 || n.Active() != 0 {
+			return false
+		}
+		return worst >= sim.TransferTime(total, 1e6)-10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(t sim.Time) sim.Time {
+	if t < 0 {
+		return -t
+	}
+	return t
+}

@@ -1,0 +1,148 @@
+// Package fft provides the serial complex-to-complex fast Fourier
+// transforms that the NAS FT reproduction computes with (the role FFTW
+// plays in the thesis): an iterative radix-2 Cooley-Tukey transform with
+// cached twiddle tables, forward and inverse, over 1D vectors, strided
+// views, and 2D planes.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// twiddle tables are cached per size; guarded for callers that run
+// transforms from multiple goroutines (the simulator is sequential, but
+// tests and examples may not be).
+var (
+	twiddleMu    sync.Mutex
+	twiddleCache = map[int][]complex128{}
+)
+
+// twiddles returns the first half of the n-th roots of unity, w^k =
+// exp(-2πik/n) for k in [0, n/2).
+func twiddles(n int) []complex128 {
+	twiddleMu.Lock()
+	defer twiddleMu.Unlock()
+	if w, ok := twiddleCache[n]; ok {
+		return w
+	}
+	w := make([]complex128, n/2)
+	for k := range w {
+		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
+		w[k] = complex(c, s)
+	}
+	twiddleCache[n] = w
+	return w
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Transform computes the in-place FFT of data (forward for inverse=false).
+// The inverse transform includes the 1/N scaling, so
+// Transform(Transform(x, false), true) reproduces x. len(data) must be a
+// positive power of two.
+func Transform(data []complex128, inverse bool) {
+	n := len(data)
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	if n == 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 1; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if i < j {
+			data[i], data[j] = data[j], data[i]
+		}
+	}
+	w := twiddles(n)
+	for span := 1; span < n; span <<= 1 {
+		step := n / (2 * span) // twiddle stride for this stage
+		for start := 0; start < n; start += 2 * span {
+			for k := 0; k < span; k++ {
+				tw := w[k*step]
+				if inverse {
+					tw = complex(real(tw), -imag(tw))
+				}
+				a := data[start+k]
+				b := data[start+span+k] * tw
+				data[start+k] = a + b
+				data[start+span+k] = a - b
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range data {
+			data[i] *= inv
+		}
+	}
+}
+
+// Strided transforms the length-n view data[offset + i*stride] in place.
+// It gathers into a scratch vector, transforms, and scatters back — the
+// standard approach for the non-unit-stride dimensions of a 3D transform.
+func Strided(data []complex128, offset, stride, n int, inverse bool, scratch []complex128) {
+	if len(scratch) < n {
+		scratch = make([]complex128, n)
+	}
+	for i := 0; i < n; i++ {
+		scratch[i] = data[offset+i*stride]
+	}
+	Transform(scratch[:n], inverse)
+	for i := 0; i < n; i++ {
+		data[offset+i*stride] = scratch[i]
+	}
+}
+
+// Transform2D computes the in-place 2D FFT of a row-major nx×ny plane
+// (rows of length ny): first each row, then each column.
+func Transform2D(data []complex128, nx, ny int, inverse bool) {
+	if len(data) != nx*ny {
+		panic(fmt.Sprintf("fft: plane %dx%d over %d elements", nx, ny, len(data)))
+	}
+	for r := 0; r < nx; r++ {
+		Transform(data[r*ny:(r+1)*ny], inverse)
+	}
+	scratch := make([]complex128, nx)
+	for c := 0; c < ny; c++ {
+		Strided(data, c, ny, nx, inverse, scratch)
+	}
+}
+
+// DFT computes the naive O(N²) discrete Fourier transform; the reference
+// implementation used by tests.
+func DFT(in []complex128, inverse bool) []complex128 {
+	n := len(in)
+	out := make([]complex128, n)
+	sign := -2 * math.Pi
+	if inverse {
+		sign = 2 * math.Pi
+	}
+	for k := 0; k < n; k++ {
+		var acc complex128
+		for j := 0; j < n; j++ {
+			s, c := math.Sincos(sign * float64(k) * float64(j) / float64(n))
+			acc += in[j] * complex(c, s)
+		}
+		if inverse {
+			acc /= complex(float64(n), 0)
+		}
+		out[k] = acc
+	}
+	return out
+}
+
+// OpCount reports the floating-point operation count of one length-n FFT
+// (the standard 5·n·log2(n) convention) for the cost model.
+func OpCount(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return 5 * float64(n) * math.Log2(float64(n))
+}

@@ -1,0 +1,225 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomVector(n int, seed int64) []complex128 {
+	r := rand.New(rand.NewSource(seed))
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	return v
+}
+
+func maxErr(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestMatchesNaiveDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		in := randomVector(n, int64(n))
+		want := DFT(in, false)
+		got := append([]complex128(nil), in...)
+		Transform(got, false)
+		if e := maxErr(got, want); e > 1e-9*float64(n) {
+			t.Errorf("n=%d: FFT differs from DFT by %g", n, e)
+		}
+	}
+}
+
+func TestInverseMatchesNaive(t *testing.T) {
+	in := randomVector(128, 7)
+	want := DFT(in, true)
+	got := append([]complex128(nil), in...)
+	Transform(got, true)
+	if e := maxErr(got, want); e > 1e-10 {
+		t.Errorf("inverse FFT differs from inverse DFT by %g", e)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, logN uint8) bool {
+		n := 1 << (logN%10 + 1)
+		in := randomVector(n, seed)
+		work := append([]complex128(nil), in...)
+		Transform(work, false)
+		Transform(work, true)
+		return maxErr(work, in) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImpulseGivesFlatSpectrum(t *testing.T) {
+	n := 64
+	in := make([]complex128, n)
+	in[0] = 1
+	Transform(in, false)
+	for i, v := range in {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("bin %d = %v, want 1 (impulse transform)", i, v)
+		}
+	}
+}
+
+func TestSingleToneLandsInOneBin(t *testing.T) {
+	n := 128
+	k := 5
+	in := make([]complex128, n)
+	for j := range in {
+		s, c := math.Sincos(2 * math.Pi * float64(k) * float64(j) / float64(n))
+		in[j] = complex(c, s)
+	}
+	Transform(in, false)
+	for i, v := range in {
+		want := 0.0
+		if i == k {
+			want = float64(n)
+		}
+		if math.Abs(cmplx.Abs(v)-want) > 1e-9 {
+			t.Errorf("bin %d magnitude = %g, want %g", i, cmplx.Abs(v), want)
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	in := randomVector(256, 11)
+	var timeE float64
+	for _, v := range in {
+		timeE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	Transform(in, false)
+	var freqE float64
+	for _, v := range in {
+		freqE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(freqE/float64(len(in))-timeE) > 1e-8*timeE {
+		t.Errorf("Parseval violated: time %g vs freq/N %g", timeE, freqE/float64(len(in)))
+	}
+}
+
+func TestLinearityProperty(t *testing.T) {
+	f := func(seedA, seedB int64, scaleRe, scaleIm int16) bool {
+		n := 64
+		a := randomVector(n, seedA)
+		b := randomVector(n, seedB)
+		alpha := complex(float64(scaleRe)/100, float64(scaleIm)/100)
+		sum := make([]complex128, n)
+		for i := range sum {
+			sum[i] = a[i] + alpha*b[i]
+		}
+		fa := append([]complex128(nil), a...)
+		fb := append([]complex128(nil), b...)
+		fs := append([]complex128(nil), sum...)
+		Transform(fa, false)
+		Transform(fb, false)
+		Transform(fs, false)
+		for i := range fs {
+			if cmplx.Abs(fs[i]-(fa[i]+alpha*fb[i])) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStridedEqualsGatherTransform(t *testing.T) {
+	nx, ny := 8, 16
+	data := randomVector(nx*ny, 3)
+	ref := append([]complex128(nil), data...)
+	// Column 5 via Strided.
+	Strided(data, 5, ny, nx, false, nil)
+	// Reference: gather, transform, scatter.
+	col := make([]complex128, nx)
+	for i := 0; i < nx; i++ {
+		col[i] = ref[5+i*ny]
+	}
+	Transform(col, false)
+	for i := 0; i < nx; i++ {
+		ref[5+i*ny] = col[i]
+	}
+	if e := maxErr(data, ref); e > 1e-12 {
+		t.Errorf("strided transform differs by %g", e)
+	}
+}
+
+func TestTransform2DRoundTrip(t *testing.T) {
+	nx, ny := 16, 32
+	in := randomVector(nx*ny, 9)
+	work := append([]complex128(nil), in...)
+	Transform2D(work, nx, ny, false)
+	Transform2D(work, nx, ny, true)
+	if e := maxErr(work, in); e > 1e-9 {
+		t.Errorf("2D round trip error %g", e)
+	}
+}
+
+func TestTransform2DSeparability(t *testing.T) {
+	// 2D of a separable product f(x)g(y) is F(x)G(y).
+	nx, ny := 8, 8
+	fx := randomVector(nx, 21)
+	gy := randomVector(ny, 22)
+	plane := make([]complex128, nx*ny)
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			plane[x*ny+y] = fx[x] * gy[y]
+		}
+	}
+	Transform2D(plane, nx, ny, false)
+	FX := append([]complex128(nil), fx...)
+	GY := append([]complex128(nil), gy...)
+	Transform(FX, false)
+	Transform(GY, false)
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			if cmplx.Abs(plane[x*ny+y]-FX[x]*GY[y]) > 1e-8 {
+				t.Fatalf("separability violated at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestNonPow2Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two length")
+		}
+	}()
+	Transform(make([]complex128, 12), false)
+}
+
+func TestIsPow2AndOpCount(t *testing.T) {
+	if !IsPow2(1) || !IsPow2(1024) || IsPow2(0) || IsPow2(12) || IsPow2(-4) {
+		t.Error("IsPow2 misclassifies")
+	}
+	if OpCount(1) != 0 {
+		t.Error("OpCount(1) should be 0")
+	}
+	if got := OpCount(1024); got != 5*1024*10 {
+		t.Errorf("OpCount(1024) = %g, want %g", got, 5.0*1024*10)
+	}
+}
+
+func BenchmarkFFT1K(b *testing.B) {
+	v := randomVector(1024, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Transform(v, false)
+	}
+}

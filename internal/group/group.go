@@ -1,0 +1,224 @@
+// Package group implements the cooperative thread-group extension of
+// Chapter 3: UPC threads grouped by hardware locality (or any
+// application-chosen membership), with group-scoped barriers, collectives,
+// and the privatized pointer tables (Figure 3.1) that let group members
+// access each other's shared partitions at plain memory speed. Groups may
+// overlap, matching the thesis's requirement that multiple hardware
+// hierarchies be exploitable concurrently.
+package group
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/upc"
+)
+
+// Group is one thread's view of a thread group.
+type Group struct {
+	T       *upc.Thread
+	Members []int // UPC thread ids, ascending
+	Rank    int   // this thread's index within Members
+
+	st *state
+}
+
+// state is the group-shared synchronization record, interned on the
+// runtime so that every member resolves to the same object.
+type state struct {
+	n        int
+	cost     sim.Duration
+	notified int
+	ev       *sim.Event
+	collSeq  map[int]int // per-member collective sequence counters
+	colls    []*collSlot
+}
+
+type collSlot struct {
+	arrived int
+	vals    []any
+	result  any
+	ev      *sim.Event
+}
+
+// New builds the group containing exactly the given UPC threads; members
+// must include the calling thread. Every member must call New with the
+// same membership. Creation is purely local (the memory maps were
+// established by the runtime at startup), mirroring the paper's
+// observation that the overhead of obtaining neighborhood information and
+// pointer casting is negligible.
+func New(t *upc.Thread, members []int) (*Group, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("group: empty membership")
+	}
+	ms := append([]int(nil), members...)
+	sort.Ints(ms)
+	rank := -1
+	for i, m := range ms {
+		if i > 0 && ms[i-1] == m {
+			return nil, fmt.Errorf("group: duplicate member %d", m)
+		}
+		if m < 0 || m >= t.N {
+			return nil, fmt.Errorf("group: member %d outside [0,%d)", m, t.N)
+		}
+		if m == t.ID {
+			rank = i
+		}
+	}
+	if rank < 0 {
+		return nil, fmt.Errorf("group: thread %d not in its own group %v", t.ID, ms)
+	}
+	rt := t.Runtime()
+	key := "group:" + memberKey(ms)
+	st := rt.Intern(key, func() any {
+		nodes := map[int]bool{}
+		for _, m := range ms {
+			nodes[rt.PlaceOf(m).Node] = true
+		}
+		return &state{
+			n:       len(ms),
+			cost:    rt.Cluster.BarrierCost(len(nodes)),
+			ev:      &sim.Event{},
+			collSeq: make(map[int]int),
+		}
+	}).(*state)
+	return &Group{T: t, Members: ms, Rank: rank, st: st}, nil
+}
+
+func memberKey(ms []int) string {
+	parts := make([]string, len(ms))
+	for i, m := range ms {
+		parts[i] = fmt.Sprint(m)
+	}
+	return strings.Join(parts, ",")
+}
+
+// NodeGroup builds the group of all UPC threads sharing this thread's
+// node — the shared-memory thread group used throughout Chapter 3.
+func NodeGroup(t *upc.Thread) *Group {
+	g, err := New(t, t.SameNodeThreads())
+	if err != nil {
+		panic("group: NodeGroup: " + err.Error()) // layout guarantees validity
+	}
+	return g
+}
+
+// Size reports the member count.
+func (g *Group) Size() int { return len(g.Members) }
+
+// Leader reports the lowest-numbered member.
+func (g *Group) Leader() int { return g.Members[0] }
+
+// IsLeader reports whether the calling thread is the group leader.
+func (g *Group) IsLeader() bool { return g.Rank == 0 }
+
+// OnOneNode reports whether every member shares the caller's node (and so
+// pointer tables will be fully populated under PSHM/pthreads).
+func (g *Group) OnOneNode() bool {
+	for _, m := range g.Members {
+		if g.T.Distance(m) == topo.LevelRemote {
+			return false
+		}
+	}
+	return true
+}
+
+// Barrier synchronizes the group's members only, at the dissemination cost
+// of the nodes the group spans (cheap for an intra-node group).
+func (g *Group) Barrier() {
+	st := g.st
+	ev := st.ev
+	st.notified++
+	if st.notified == st.n {
+		st.notified = 0
+		st.ev = &sim.Event{}
+		g.T.Runtime().Eng.After(st.cost, ev.Fire)
+	}
+	ev.Wait(g.T.P)
+}
+
+// collective runs one group-scoped rendezvous (same machinery as the
+// global collectives, keyed per group).
+func (g *Group) collective(val any, combine func([]any) any) any {
+	st := g.st
+	seq := st.collSeq[g.T.ID]
+	st.collSeq[g.T.ID] = seq + 1
+	for len(st.colls) <= seq {
+		st.colls = append(st.colls, nil)
+	}
+	if st.colls[seq] == nil {
+		st.colls[seq] = &collSlot{vals: make([]any, st.n), ev: &sim.Event{}}
+	}
+	slot := st.colls[seq]
+	slot.vals[g.Rank] = val
+	slot.arrived++
+	if slot.arrived == st.n {
+		slot.result = combine(slot.vals)
+		g.T.Runtime().Eng.After(st.cost, slot.ev.Fire)
+	}
+	slot.ev.Wait(g.T.P)
+	return slot.result
+}
+
+// ReduceSum sums one float64 contribution per member and returns the total
+// on every member.
+func (g *Group) ReduceSum(v float64) float64 {
+	r := g.collective(v, func(vals []any) any {
+		s := 0.0
+		for _, x := range vals {
+			s += x.(float64)
+		}
+		return s
+	})
+	return r.(float64)
+}
+
+// ReduceSumInt sums one int64 contribution per member.
+func (g *Group) ReduceSumInt(v int64) int64 {
+	r := g.collective(v, func(vals []any) any {
+		var s int64
+		for _, x := range vals {
+			s += x.(int64)
+		}
+		return s
+	})
+	return r.(int64)
+}
+
+// Broadcast distributes the leader's value to every member.
+func (g *Group) Broadcast(v any) any {
+	return g.collective(v, func(vals []any) any { return vals[0] })
+}
+
+// Table is a privatized pointer table (Figure 3.1): per group member, the
+// direct slice onto that member's partition of a shared array, or nil when
+// the segment is not castable from this thread (off-node, or no shared
+// memory support). It is built once at startup and indexed by group rank.
+type Table[T any] struct {
+	segs [][]T
+}
+
+// CastTable privatizes pointers to every group member's partition of s.
+func CastTable[T any](g *Group, s *upc.Shared[T]) *Table[T] {
+	tb := &Table[T]{segs: make([][]T, len(g.Members))}
+	for i, m := range g.Members {
+		tb.segs[i] = s.Cast(g.T, m)
+	}
+	return tb
+}
+
+// Seg reports member rank's privatized partition, or nil if uncastable.
+func (tb *Table[T]) Seg(rank int) []T { return tb.segs[rank] }
+
+// Complete reports whether every member's segment was castable.
+func (tb *Table[T]) Complete() bool {
+	for _, s := range tb.segs {
+		if s == nil {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,258 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// hierThreshold is the per-destination slice size (bytes) at or below
+// which Alltoall prefers the hierarchical node-aggregated algorithm. For
+// larger slices the exchange is bandwidth-bound and the extra local copies
+// of aggregation stop paying off, so pairwise wins — the same size-based
+// algorithm switching tuned MPI libraries perform.
+const hierThreshold = 4096
+
+// Alltoall performs a complete exchange: rank r's send[d] lands in rank
+// d's result[r] (MPI_Alltoall with per-destination byte slices). The
+// algorithm is chosen the way a tuned MPI library would: the hierarchical
+// node-aggregated algorithm when several ranks share a node (one wire
+// message per node pair instead of ranksPerNode², spread across all of the
+// node's connections), pairwise exchange otherwise.
+func (c *Comm) Alltoall(send [][]byte) [][]byte {
+	if len(send) != c.Size {
+		panic(fmt.Sprintf("mpi: Alltoall with %d slices for %d ranks", len(send), c.Size))
+	}
+	w := c.w
+	if w.Cfg.RanksPerNode > 1 && w.nodes > 1 && c.Size == w.nodes*w.Cfg.RanksPerNode &&
+		uniformSizes(send) && len(send[0]) <= hierThreshold {
+		return c.alltoallHierarchical(send)
+	}
+	return c.alltoallPairwise(send)
+}
+
+// AlltoallPairwise forces the naive pairwise-exchange algorithm (used by
+// the ablation benchmarks).
+func (c *Comm) AlltoallPairwise(send [][]byte) [][]byte {
+	return c.alltoallPairwise(send)
+}
+
+func (c *Comm) alltoallPairwise(send [][]byte) [][]byte {
+	out := make([][]byte, c.Size)
+	out[c.Rank] = append([]byte(nil), send[c.Rank]...)
+	for step := 1; step < c.Size; step++ {
+		to := (c.Rank + step) % c.Size
+		from := (c.Rank - step + c.Size) % c.Size
+		out[from] = c.Sendrecv(to, send[to], from)
+	}
+	return out
+}
+
+// alltoallHierarchical aggregates per node pair: each remote node nd is
+// assigned to the local *handler* rank nd%per, which collects its node's
+// contributions for nd over shared memory, exchanges one aggregated block
+// with nd's corresponding handler on the wire, and scatters the arrivals
+// locally. Wire traffic drops from per² messages per node pair to one,
+// spread across all of the node's connections.
+func (c *Comm) alltoallHierarchical(send [][]byte) [][]byte {
+	w := c.w
+	per := w.Cfg.RanksPerNode
+	myNode := c.Rank / per
+	li := c.Rank % per
+	slice := len(send[0])
+	out := make([][]byte, c.Size)
+
+	// Node-local exchange goes directly over shared memory, pairwise.
+	out[c.Rank] = append([]byte(nil), send[c.Rank]...)
+	for step := 1; step < per; step++ {
+		to := myNode*per + (li+step)%per
+		from := myNode*per + (li-step+per)%per
+		out[from] = c.Sendrecv(to, send[to], from)
+	}
+
+	// myNodes lists the remote nodes this rank handles, ascending.
+	handled := func(lr int) []int {
+		var nds []int
+		for nd := 0; nd < w.nodes; nd++ {
+			if nd != myNode && nd%per == lr {
+				nds = append(nds, nd)
+			}
+		}
+		return nds
+	}
+	mine := handled(li)
+
+	// Phase 1: ship each remote node's block to its local handler. A
+	// block is concat(send[dr]) over nd's ranks, ascending.
+	blockFor := func(vec [][]byte, nd int) []byte {
+		blk := make([]byte, 0, per*slice)
+		for dr := nd * per; dr < (nd+1)*per; dr++ {
+			blk = append(blk, vec[dr]...)
+		}
+		return blk
+	}
+	for nd := 0; nd < w.nodes; nd++ {
+		if nd == myNode || nd%per == li {
+			continue
+		}
+		c.Send(myNode*per+nd%per, blockFor(send, nd))
+	}
+	// Collect the node's contributions for each node I handle:
+	// contrib[k][lr] is local rank lr's block for mine[k].
+	contrib := make([][][]byte, len(mine))
+	for k, nd := range mine {
+		contrib[k] = make([][]byte, per)
+		contrib[k][li] = blockFor(send, nd)
+	}
+	// Each other local rank sends me its blocks for my nodes, ascending.
+	for lr := 0; lr < per; lr++ {
+		if lr == li {
+			continue
+		}
+		for k := range mine {
+			contrib[k][lr] = c.Recv(myNode*per + lr)
+		}
+	}
+
+	// Phase 2: exchange aggregated node-pair blocks with the partner
+	// handlers, non-blocking sends first to avoid ordering cycles. The
+	// handler for node myNode on node nd is rank nd*per + myNode%per.
+	for k, nd := range mine {
+		agg := make([]byte, 0, per*per*slice)
+		for lr := 0; lr < per; lr++ {
+			agg = append(agg, contrib[k][lr]...)
+		}
+		c.isend(nd*per+myNode%per, agg)
+	}
+	arrivals := make([][]byte, len(mine))
+	for k, nd := range mine {
+		arrivals[k] = c.Recv(nd*per + myNode%per)
+	}
+
+	// Phase 3: unpack arrivals and scatter to local destinations. An
+	// arrival from nd holds, for each sender lr' on nd (ascending), the
+	// slices for my node's ranks (ascending).
+	for k, nd := range mine {
+		blk := arrivals[k]
+		off := 0
+		for sr := nd * per; sr < (nd+1)*per; sr++ {
+			for dr := myNode * per; dr < (myNode+1)*per; dr++ {
+				piece := blk[off : off+slice]
+				off += slice
+				if dr == c.Rank {
+					out[sr] = append([]byte(nil), piece...)
+				} else {
+					c.Send(dr, piece)
+				}
+			}
+		}
+	}
+	// Receive my slices for non-handled nodes from their local handlers,
+	// in the handlers' deterministic (nd ascending, sr ascending) order.
+	for nd := 0; nd < w.nodes; nd++ {
+		if nd == myNode || nd%per == li {
+			continue
+		}
+		h := myNode*per + nd%per
+		for sr := nd * per; sr < (nd+1)*per; sr++ {
+			out[sr] = c.Recv(h)
+		}
+	}
+	return out
+}
+
+func uniformSizes(v [][]byte) bool {
+	for _, s := range v[1:] {
+		if len(s) != len(v[0]) {
+			return false
+		}
+	}
+	return true
+}
+
+// AlltoallModel runs the complete-exchange communication pattern for
+// uniform per-destination slices of the given byte size without carrying
+// payloads — the model-mode form of Alltoall with the same size-based
+// algorithm selection.
+func (c *Comm) AlltoallModel(slice int64) {
+	w := c.w
+	if w.Cfg.RanksPerNode > 1 && w.nodes > 1 && c.Size == w.nodes*w.Cfg.RanksPerNode &&
+		slice <= hierThreshold {
+		c.alltoallHierarchicalModel(slice)
+		return
+	}
+	for step := 1; step < c.Size; step++ {
+		to := (c.Rank + step) % c.Size
+		from := (c.Rank - step + c.Size) % c.Size
+		c.SendrecvModel(to, slice, from)
+	}
+}
+
+// alltoallHierarchicalModel mirrors alltoallHierarchical's message pattern
+// with payload-free transfers.
+func (c *Comm) alltoallHierarchicalModel(slice int64) {
+	w := c.w
+	per := w.Cfg.RanksPerNode
+	myNode := c.Rank / per
+	li := c.Rank % per
+
+	for step := 1; step < per; step++ {
+		to := myNode*per + (li+step)%per
+		from := myNode*per + (li-step+per)%per
+		c.SendrecvModel(to, slice, from)
+	}
+	nHandled := 0
+	for nd := 0; nd < w.nodes; nd++ {
+		if nd == myNode {
+			continue
+		}
+		if nd%per == li {
+			nHandled++
+		} else {
+			c.SendModel(myNode*per+nd%per, int64(per)*slice)
+		}
+	}
+	// Receive phase-1 contributions for each handled node.
+	for lr := 0; lr < per; lr++ {
+		if lr == li {
+			continue
+		}
+		for k := 0; k < nHandled; k++ {
+			c.Recv(myNode*per + lr)
+		}
+	}
+	// Phase 2: aggregated node-pair exchanges.
+	for nd := 0; nd < w.nodes; nd++ {
+		if nd == myNode || nd%per != li {
+			continue
+		}
+		msg := &message{src: c.Rank, arrived: &sim.Event{}}
+		c.w.inbox[nd*per+myNode%per] = append(c.w.inbox[nd*per+myNode%per], msg)
+		c.w.rxQ[nd*per+myNode%per].WakeAll()
+		c.transfer(nd*per+myNode%per, int64(per*per)*slice, msg.arrived.Fire)
+	}
+	for nd := 0; nd < w.nodes; nd++ {
+		if nd == myNode || nd%per != li {
+			continue
+		}
+		c.Recv(nd*per + myNode%per)
+	}
+	// Phase 3: scatter arrivals to local destinations.
+	for nd := 0; nd < w.nodes; nd++ {
+		if nd == myNode || nd%per != li {
+			continue
+		}
+		for dr := myNode * per; dr < (myNode+1)*per; dr++ {
+			if dr != c.Rank {
+				c.SendModel(dr, int64(per)*slice)
+			}
+		}
+	}
+	for nd := 0; nd < w.nodes; nd++ {
+		if nd == myNode || nd%per == li {
+			continue
+		}
+		h := myNode*per + nd%per
+		c.Recv(h)
+	}
+}

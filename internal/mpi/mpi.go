@@ -1,0 +1,359 @@
+// Package mpi implements the two-sided message-passing baseline the
+// thesis compares against (OpenMPI + Fortran NAS FT): blocking send/recv
+// with eager and rendezvous protocols over the same simulated fabric,
+// barriers, reductions, and an all-to-all collective with both the naive
+// pairwise algorithm and the hierarchical (node-leader) algorithm that
+// vendor-tuned MPI libraries use — the reason MPI's collective wins in
+// Figure 4.5 while still saturating past two cores per node.
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// EagerThreshold is the message size at or below which sends complete
+// locally without waiting for the receiver (bytes).
+const EagerThreshold = 4096
+
+// smOverhead is the per-message cost of the shared-memory (sm) transport
+// used for intra-node sends.
+const smOverhead = 200 * sim.Nanosecond
+
+// Config describes one MPI execution.
+type Config struct {
+	Machine      *topo.Machine
+	Conduit      *fabric.Conduit // nil = machine default
+	Ranks        int
+	RanksPerNode int
+	Binding      topo.Binding
+	Seed         int64
+}
+
+// World is the per-execution state shared by all ranks.
+type World struct {
+	Cfg     Config
+	Eng     *sim.Engine
+	Cluster *fabric.Cluster
+
+	comms  []*Comm
+	places []topo.Place
+	eps    []*fabric.Endpoint
+
+	inbox   [][]*message // per destination rank
+	rxQ     []sim.WaitQueue
+	nodes   int
+	barCost sim.Duration
+	bar     *barrier
+	colls   []*collSlot
+}
+
+type message struct {
+	src     int
+	data    []byte
+	arrived *sim.Event
+}
+
+type barrier struct {
+	n, arrived int
+	ev         *sim.Event
+}
+
+type collSlot struct {
+	arrived int
+	vals    []any
+	result  any
+	ev      *sim.Event
+}
+
+// Stats summarizes a completed run.
+type Stats struct {
+	Elapsed sim.Duration
+	Ranks   int
+}
+
+// Comm is one rank's communicator handle (MPI_COMM_WORLD view).
+type Comm struct {
+	w     *World
+	P     *sim.Proc
+	Rank  int
+	Size  int
+	Place topo.Place
+	ep    *fabric.Endpoint
+
+	collSeq int
+}
+
+// Run executes main on every rank and returns run statistics.
+func Run(cfg Config, main func(c *Comm)) (Stats, error) {
+	w, err := NewWorld(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	for _, c := range w.comms {
+		c := c
+		w.Eng.Go(fmt.Sprintf("mpi%d", c.Rank), func(p *sim.Proc) {
+			c.P = p
+			main(c)
+		})
+	}
+	if err := w.Eng.Run(); err != nil {
+		return Stats{}, err
+	}
+	return Stats{Elapsed: w.Eng.Now(), Ranks: cfg.Ranks}, nil
+}
+
+// NewWorld builds the world without launching ranks.
+func NewWorld(cfg Config) (*World, error) {
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("mpi: Config.Machine is required")
+	}
+	if cfg.Ranks <= 0 || cfg.RanksPerNode <= 0 {
+		return nil, fmt.Errorf("mpi: Ranks=%d RanksPerNode=%d", cfg.Ranks, cfg.RanksPerNode)
+	}
+	cond := fabric.Conduit{}
+	if cfg.Conduit != nil {
+		cond = *cfg.Conduit
+	} else {
+		var ok bool
+		cond, ok = fabric.ConduitByName(cfg.Machine.DefaultConduit)
+		if !ok {
+			return nil, fmt.Errorf("mpi: unknown default conduit %q", cfg.Machine.DefaultConduit)
+		}
+	}
+	places, err := cfg.Machine.Layout(cfg.Ranks, cfg.RanksPerNode, cfg.Binding)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.New(cfg.Seed)
+	cl := fabric.NewCluster(eng, cfg.Machine, cond)
+	w := &World{
+		Cfg:     cfg,
+		Eng:     eng,
+		Cluster: cl,
+		places:  places,
+		eps:     make([]*fabric.Endpoint, cfg.Ranks),
+		inbox:   make([][]*message, cfg.Ranks),
+		rxQ:     make([]sim.WaitQueue, cfg.Ranks),
+	}
+	w.nodes = (cfg.Ranks + cfg.RanksPerNode - 1) / cfg.RanksPerNode
+	w.barCost = cl.BarrierCost(w.nodes)
+	w.bar = &barrier{n: cfg.Ranks, ev: &sim.Event{}}
+	for i := range w.eps {
+		w.eps[i] = cl.NewEndpoint(places[i].Node)
+	}
+	w.comms = make([]*Comm, cfg.Ranks)
+	for i := range w.comms {
+		w.comms[i] = &Comm{w: w, Rank: i, Size: cfg.Ranks, Place: places[i], ep: w.eps[i]}
+	}
+	return w, nil
+}
+
+// Comm reports rank i's communicator (for co-scheduled setups).
+func (w *World) Comm(i int) *Comm { return w.comms[i] }
+
+// World reports the communicator's owning world.
+func (c *Comm) World() *World { return c.w }
+
+// transfer moves bytes from c toward dst through the transport the MPI
+// library would choose: shared memory within a node, the conduit across.
+func (c *Comm) transfer(dst int, bytes int64, apply func()) *fabric.NetOp {
+	w := c.w
+	dstPlace := w.places[dst]
+	if topo.SameNode(c.Place, dstPlace) {
+		return w.Cluster.MemCopyAsync(c.P, c.Place, dstPlace, bytes, smOverhead, apply)
+	}
+	return c.ep.PutAsync(c.P, w.eps[dst], bytes, apply)
+}
+
+// isend snapshots data, enqueues the matching record at the destination,
+// and starts the transfer, returning its handle.
+func (c *Comm) isend(dst int, data []byte) *fabric.NetOp {
+	snap := make([]byte, len(data))
+	copy(snap, data)
+	msg := &message{src: c.Rank, data: snap, arrived: &sim.Event{}}
+	c.w.inbox[dst] = append(c.w.inbox[dst], msg)
+	c.w.rxQ[dst].WakeAll()
+	return c.transfer(dst, int64(len(data)), msg.arrived.Fire)
+}
+
+// Send delivers data to rank dst (MPI_Send). Messages at or below the
+// eager threshold complete when the payload leaves the source buffer;
+// larger messages use the rendezvous protocol and return after the
+// transfer drains.
+func (c *Comm) Send(dst int, data []byte) {
+	op := c.isend(dst, data)
+	if len(data) <= EagerThreshold {
+		op.WaitLocal(c.P)
+	} else {
+		op.WaitRemote(c.P)
+	}
+}
+
+// SendModel delivers a payload-free message of the given byte volume to
+// rank dst: the model-mode transfer for benchmark geometries too large to
+// materialize. Blocking semantics match Send.
+func (c *Comm) SendModel(dst int, bytes int64) {
+	msg := &message{src: c.Rank, arrived: &sim.Event{}}
+	c.w.inbox[dst] = append(c.w.inbox[dst], msg)
+	c.w.rxQ[dst].WakeAll()
+	op := c.transfer(dst, bytes, msg.arrived.Fire)
+	if bytes <= EagerThreshold {
+		op.WaitLocal(c.P)
+	} else {
+		op.WaitRemote(c.P)
+	}
+}
+
+// SendrecvModel is the payload-free form of Sendrecv.
+func (c *Comm) SendrecvModel(dst int, bytes int64, src int) {
+	msg := &message{src: c.Rank, arrived: &sim.Event{}}
+	c.w.inbox[dst] = append(c.w.inbox[dst], msg)
+	c.w.rxQ[dst].WakeAll()
+	op := c.transfer(dst, bytes, msg.arrived.Fire)
+	c.Recv(src)
+	op.WaitLocal(c.P)
+}
+
+// Recv blocks until a message from src arrives and returns its payload
+// (MPI_Recv with an explicit source). Messages from one source are
+// delivered in send order.
+func (c *Comm) Recv(src int) []byte {
+	w := c.w
+	for {
+		for i, m := range w.inbox[c.Rank] {
+			if m.src != src {
+				continue
+			}
+			w.inbox[c.Rank] = append(w.inbox[c.Rank][:i], w.inbox[c.Rank][i+1:]...)
+			m.arrived.Wait(c.P)
+			return m.data
+		}
+		w.rxQ[c.Rank].Wait(c.P, "mpi-recv")
+	}
+}
+
+// Sendrecv sends data to dst and receives a payload from src without
+// deadlock (MPI_Sendrecv): the send is initiated before blocking on the
+// receive.
+func (c *Comm) Sendrecv(dst int, data []byte, src int) []byte {
+	op := c.isend(dst, data)
+	in := c.Recv(src)
+	op.WaitLocal(c.P)
+	return in
+}
+
+// Barrier synchronizes all ranks (MPI_Barrier).
+func (c *Comm) Barrier() {
+	b := c.w.bar
+	ev := b.ev
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.ev = &sim.Event{}
+		c.w.Eng.After(c.w.barCost, ev.Fire)
+	}
+	ev.Wait(c.P)
+}
+
+// AllreduceSum sums one float64 per rank on every rank (MPI_Allreduce).
+func (c *Comm) AllreduceSum(v float64) float64 {
+	r := c.collective(v, func(vals []any) any {
+		s := 0.0
+		for _, x := range vals {
+			s += x.(float64)
+		}
+		return s
+	})
+	return r.(float64)
+}
+
+// AllreduceMax takes the max of one float64 per rank on every rank.
+func (c *Comm) AllreduceMax(v float64) float64 {
+	r := c.collective(v, func(vals []any) any {
+		m := vals[0].(float64)
+		for _, x := range vals[1:] {
+			if f := x.(float64); f > m {
+				m = f
+			}
+		}
+		return m
+	})
+	return r.(float64)
+}
+
+func (c *Comm) collective(val any, combine func([]any) any) any {
+	w := c.w
+	for len(w.colls) <= c.collSeq {
+		w.colls = append(w.colls, nil)
+	}
+	if w.colls[c.collSeq] == nil {
+		w.colls[c.collSeq] = &collSlot{vals: make([]any, c.Size), ev: &sim.Event{}}
+	}
+	slot := w.colls[c.collSeq]
+	c.collSeq++
+	slot.vals[c.Rank] = val
+	slot.arrived++
+	if slot.arrived == c.Size {
+		slot.result = combine(slot.vals)
+		w.Eng.After(w.barCost, slot.ev.Fire)
+	}
+	slot.ev.Wait(c.P)
+	return slot.result
+}
+
+// Request is a handle to a non-blocking point-to-point operation.
+type Request struct {
+	op   *fabric.NetOp
+	recv func() []byte // set for Irecv: resolves the payload at Wait
+	data []byte
+}
+
+// Isend starts a non-blocking send (MPI_Isend). Wait returns when the
+// send buffer is reusable.
+func (c *Comm) Isend(dst int, data []byte) *Request {
+	return &Request{op: c.isend(dst, data)}
+}
+
+// Irecv posts a non-blocking receive from src (MPI_Irecv). Wait blocks
+// until a matching message has arrived and returns its payload.
+func (c *Comm) Irecv(src int) *Request {
+	return &Request{recv: func() []byte { return c.Recv(src) }}
+}
+
+// Wait completes the request (MPI_Wait) and, for receives, returns the
+// payload.
+func (c *Comm) Wait(r *Request) []byte {
+	if r.recv != nil {
+		r.data = r.recv()
+		r.recv = nil
+	}
+	if r.data != nil {
+		return r.data
+	}
+	if r.op != nil {
+		r.op.WaitLocal(c.P)
+	}
+	return nil
+}
+
+// Waitall completes a batch of requests.
+func (c *Comm) Waitall(rs []*Request) {
+	for _, r := range rs {
+		c.Wait(r)
+	}
+}
+
+// Probe reports whether a message from src is matchable without blocking
+// (MPI_Iprobe).
+func (c *Comm) Probe(src int) bool {
+	for _, m := range c.w.inbox[c.Rank] {
+		if m.src == src {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,344 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func cfg(ranks, perNode int) Config {
+	return Config{
+		Machine:      topo.Lehman(),
+		Ranks:        ranks,
+		RanksPerNode: perNode,
+		Seed:         1,
+	}
+}
+
+func TestSendRecvDelivery(t *testing.T) {
+	_, err := Run(cfg(4, 2), func(c *Comm) {
+		next := (c.Rank + 1) % c.Size
+		prev := (c.Rank + c.Size - 1) % c.Size
+		payload := []byte(fmt.Sprintf("from-%d", c.Rank))
+		if c.Rank%2 == 0 {
+			c.Send(next, payload)
+			got := c.Recv(prev)
+			if want := fmt.Sprintf("from-%d", prev); string(got) != want {
+				t.Errorf("rank %d got %q, want %q", c.Rank, got, want)
+			}
+		} else {
+			got := c.Recv(prev)
+			if want := fmt.Sprintf("from-%d", prev); string(got) != want {
+				t.Errorf("rank %d got %q, want %q", c.Rank, got, want)
+			}
+			c.Send(next, payload)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendOrderPreservedPerSource(t *testing.T) {
+	_, err := Run(cfg(2, 2), func(c *Comm) {
+		if c.Rank == 0 {
+			for i := 0; i < 10; i++ {
+				c.Send(1, []byte{byte(i)})
+			}
+		} else {
+			for i := 0; i < 10; i++ {
+				got := c.Recv(0)
+				if got[0] != byte(i) {
+					t.Errorf("message %d arrived as %d (order violated)", i, got[0])
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendSnapshotsBuffer(t *testing.T) {
+	_, err := Run(cfg(2, 1), func(c *Comm) {
+		if c.Rank == 0 {
+			buf := []byte{1, 2, 3}
+			c.Send(1, buf)
+			buf[0] = 99 // must not affect the in-flight payload
+		} else {
+			got := c.Recv(0)
+			if got[0] != 1 {
+				t.Errorf("payload corrupted by post-send mutation: %v", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEagerVsRendezvousSendCost(t *testing.T) {
+	// A small (eager) send must return much sooner than a 1 MB
+	// (rendezvous) send to an unready receiver.
+	var eager, rendezvous sim.Duration
+	_, err := Run(cfg(2, 1), func(c *Comm) {
+		if c.Rank == 0 {
+			start := c.P.Now()
+			c.Send(1, make([]byte, 64))
+			eager = c.P.Now() - start
+			start = c.P.Now()
+			c.Send(1, make([]byte, 1<<20))
+			rendezvous = c.P.Now() - start
+		} else {
+			c.P.Advance(50 * sim.Millisecond) // receiver shows up late
+			c.Recv(0)
+			c.Recv(0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eager >= rendezvous/10 {
+		t.Errorf("eager send %v should be far cheaper than rendezvous %v", eager, rendezvous)
+	}
+}
+
+func TestSendrecvNoDeadlockLargeMessages(t *testing.T) {
+	_, err := Run(cfg(2, 1), func(c *Comm) {
+		partner := 1 - c.Rank
+		out := bytes.Repeat([]byte{byte(c.Rank + 1)}, 1<<20)
+		in := c.Sendrecv(partner, out, partner)
+		if len(in) != 1<<20 || in[0] != byte(partner+1) {
+			t.Errorf("rank %d: bad sendrecv payload", c.Rank)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierAndReductions(t *testing.T) {
+	_, err := Run(cfg(6, 3), func(c *Comm) {
+		c.P.Advance(sim.Duration(c.Rank) * sim.Millisecond)
+		c.Barrier()
+		if got := c.AllreduceSum(float64(c.Rank)); got != 15 {
+			t.Errorf("AllreduceSum = %g, want 15", got)
+		}
+		if got := c.AllreduceMax(float64(c.Rank * 2)); got != 10 {
+			t.Errorf("AllreduceMax = %g, want 10", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func alltoallCorrect(t *testing.T, ranks, perNode, msg int, force string) {
+	t.Helper()
+	_, err := Run(cfg(ranks, perNode), func(c *Comm) {
+		send := make([][]byte, c.Size)
+		for d := range send {
+			send[d] = bytes.Repeat([]byte{byte(c.Rank*16 + d)}, msg)
+		}
+		var got [][]byte
+		switch force {
+		case "pairwise":
+			got = c.AlltoallPairwise(send)
+		default:
+			got = c.Alltoall(send)
+		}
+		for s := range got {
+			want := byte(s*16 + c.Rank)
+			if len(got[s]) != msg {
+				t.Errorf("rank %d: slice from %d has %d bytes, want %d", c.Rank, s, len(got[s]), msg)
+				continue
+			}
+			for _, b := range got[s] {
+				if b != want {
+					t.Errorf("rank %d: slice from %d corrupted (%d != %d)", c.Rank, s, b, want)
+					break
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallPairwiseCorrect(t *testing.T) {
+	alltoallCorrect(t, 4, 1, 128, "pairwise")
+	alltoallCorrect(t, 6, 3, 64, "pairwise")
+}
+
+func TestAlltoallHierarchicalCorrect(t *testing.T) {
+	alltoallCorrect(t, 8, 4, 256, "auto") // multi-rank nodes: hierarchical path
+	alltoallCorrect(t, 6, 2, 96, "auto")
+	alltoallCorrect(t, 12, 4, 32, "auto")
+}
+
+func TestAlltoallPropertyPermutation(t *testing.T) {
+	// Property: Alltoall is a transpose — rank r's slice d equals what
+	// rank d receives at index r, for random sizes and shapes.
+	f := func(perNodeRaw, nodesRaw, msgRaw uint8) bool {
+		perNode := int(perNodeRaw)%4 + 1
+		nodes := int(nodesRaw)%3 + 1
+		msg := int(msgRaw)%64 + 1
+		ranks := perNode * nodes
+		if ranks < 2 {
+			return true
+		}
+		ok := true
+		_, err := Run(cfg(ranks, perNode), func(c *Comm) {
+			send := make([][]byte, c.Size)
+			for d := range send {
+				send[d] = bytes.Repeat([]byte{byte(c.Rank*13 + d)}, msg)
+			}
+			got := c.Alltoall(send)
+			for s := range got {
+				for _, b := range got[s] {
+					if b != byte(s*13+c.Rank) {
+						ok = false
+					}
+				}
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHierarchicalBeatsPairwiseForSmallSlices(t *testing.T) {
+	// 16 ranks over 4 nodes exchanging small slices: the node-aggregated
+	// algorithm sends 16x fewer wire messages and must win in the
+	// overhead-dominated regime. For large slices the exchange is
+	// bandwidth-bound and pairwise must win — Alltoall switches itself.
+	run := func(force string, slice int) sim.Duration {
+		st, err := Run(cfg(16, 4), func(c *Comm) {
+			send := make([][]byte, c.Size)
+			for d := range send {
+				send[d] = make([]byte, slice)
+			}
+			if force == "pairwise" {
+				c.AlltoallPairwise(send)
+			} else {
+				c.Alltoall(send)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Elapsed
+	}
+	pairSmall, hierSmall := run("pairwise", 512), run("auto", 512)
+	if hierSmall >= pairSmall {
+		t.Errorf("hierarchical alltoall (%v) should beat pairwise (%v) at 512B slices",
+			hierSmall, pairSmall)
+	}
+	// Above the threshold the auto algorithm is pairwise, so auto never
+	// loses badly at large sizes.
+	pairBig, autoBig := run("pairwise", 64<<10), run("auto", 64<<10)
+	if autoBig != pairBig {
+		t.Errorf("auto (%v) must select pairwise (%v) for 64KB slices", autoBig, pairBig)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}, func(*Comm) {}); err == nil {
+		t.Error("nil machine must error")
+	}
+	if _, err := Run(Config{Machine: topo.Lehman()}, func(*Comm) {}); err == nil {
+		t.Error("zero ranks must error")
+	}
+}
+
+func TestIsendIrecvWaitall(t *testing.T) {
+	_, err := Run(cfg(4, 2), func(c *Comm) {
+		var reqs []*Request
+		for d := 0; d < c.Size; d++ {
+			if d != c.Rank {
+				reqs = append(reqs, c.Isend(d, []byte{byte(c.Rank)}))
+			}
+		}
+		var recvs []*Request
+		for s := 0; s < c.Size; s++ {
+			if s != c.Rank {
+				recvs = append(recvs, c.Irecv(s))
+			}
+		}
+		c.Waitall(reqs)
+		for i, r := range recvs {
+			src := i
+			if src >= c.Rank {
+				src++
+			}
+			if got := c.Wait(r); len(got) != 1 || got[0] != byte(src) {
+				t.Errorf("rank %d: Irecv from %d got %v", c.Rank, src, got)
+			}
+			// Waiting twice returns the same payload.
+			if again := c.Wait(r); again[0] != byte(src) {
+				t.Error("second Wait must return the cached payload")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbe(t *testing.T) {
+	_, err := Run(cfg(2, 2), func(c *Comm) {
+		if c.Rank == 0 {
+			c.P.Advance(sim.Millisecond)
+			c.Send(1, []byte("x"))
+		} else {
+			if c.Probe(0) {
+				t.Error("Probe before send must be false")
+			}
+			c.P.Advance(2 * sim.Millisecond)
+			if !c.Probe(0) {
+				t.Error("Probe after send must be true")
+			}
+			c.Recv(0)
+			if c.Probe(0) {
+				t.Error("Probe after drain must be false")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEagerThresholdBoundary(t *testing.T) {
+	// At exactly the threshold the send is still eager; one byte more and
+	// it is rendezvous (observable as a much longer blocking send to an
+	// unready receiver).
+	var atT, aboveT sim.Duration
+	_, err := Run(cfg(2, 1), func(c *Comm) {
+		if c.Rank == 0 {
+			start := c.P.Now()
+			c.Send(1, make([]byte, EagerThreshold))
+			atT = c.P.Now() - start
+			start = c.P.Now()
+			c.Send(1, make([]byte, EagerThreshold+1))
+			aboveT = c.P.Now() - start
+		} else {
+			c.P.Advance(100 * sim.Millisecond)
+			c.Recv(0)
+			c.Recv(0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atT >= aboveT {
+		t.Errorf("eager (%v) must return before rendezvous (%v)", atT, aboveT)
+	}
+}

@@ -1,0 +1,131 @@
+// Package perf provides virtual-time instrumentation for the benchmark
+// applications: phase timers, named counters, and simple statistics over
+// repeated trials.
+package perf
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Timer accumulates virtual time across start/stop intervals.
+type Timer struct {
+	total   sim.Duration
+	started sim.Time
+	running bool
+}
+
+// Start begins an interval at now. Starting a running timer panics: it
+// indicates a measurement bug.
+func (t *Timer) Start(now sim.Time) {
+	if t.running {
+		panic("perf: Timer started twice")
+	}
+	t.running = true
+	t.started = now
+}
+
+// Stop ends the current interval at now.
+func (t *Timer) Stop(now sim.Time) {
+	if !t.running {
+		panic("perf: Timer stopped while not running")
+	}
+	t.running = false
+	t.total += now - t.started
+}
+
+// Total reports the accumulated time.
+func (t *Timer) Total() sim.Duration { return t.total }
+
+// Phases tracks a set of named timers (one per benchmark phase).
+type Phases struct {
+	order  []string
+	timers map[string]*Timer
+}
+
+// NewPhases returns an empty phase tracker.
+func NewPhases() *Phases { return &Phases{timers: map[string]*Timer{}} }
+
+// Timer returns (creating if needed) the named phase timer.
+func (p *Phases) Timer(name string) *Timer {
+	t, ok := p.timers[name]
+	if !ok {
+		t = &Timer{}
+		p.timers[name] = t
+		p.order = append(p.order, name)
+	}
+	return t
+}
+
+// Total reports the named phase's accumulated time (zero if absent).
+func (p *Phases) Total(name string) sim.Duration {
+	if t, ok := p.timers[name]; ok {
+		return t.Total()
+	}
+	return 0
+}
+
+// Names lists the phases in first-use order.
+func (p *Phases) Names() []string { return append([]string(nil), p.order...) }
+
+// Counters is a set of named event counters.
+type Counters map[string]int64
+
+// Add increments a counter.
+func (c Counters) Add(name string, n int64) { c[name] += n }
+
+// Get reports a counter (zero if absent).
+func (c Counters) Get(name string) int64 { return c[name] }
+
+// Merge adds every counter of other into c.
+func (c Counters) Merge(other Counters) {
+	for k, v := range other {
+		c[k] += v
+	}
+}
+
+// String renders the counters sorted by name.
+func (c Counters) String() string {
+	keys := make([]string, 0, len(c))
+	for k := range c {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for i, k := range keys {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d", k, c[k])
+	}
+	return s
+}
+
+// Median reports the median of a sample set (NaN-free inputs assumed; the
+// paper reports medians for the microbenchmarks).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// Mean reports the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,89 @@
+package perf
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTimerAccumulates(t *testing.T) {
+	var tm Timer
+	tm.Start(10)
+	tm.Stop(30)
+	tm.Start(100)
+	tm.Stop(150)
+	if tm.Total() != 70 {
+		t.Errorf("Total = %v, want 70", tm.Total())
+	}
+}
+
+func TestTimerMisuse(t *testing.T) {
+	var tm Timer
+	tm.Start(0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double Start must panic")
+			}
+		}()
+		tm.Start(1)
+	}()
+	tm.Stop(5)
+	defer func() {
+		if recover() == nil {
+			t.Error("Stop while stopped must panic")
+		}
+	}()
+	tm.Stop(6)
+}
+
+func TestPhases(t *testing.T) {
+	p := NewPhases()
+	p.Timer("fft").Start(0)
+	p.Timer("fft").Stop(sim.Time(5))
+	p.Timer("comm").Start(5)
+	p.Timer("comm").Stop(sim.Time(9))
+	if p.Total("fft") != 5 || p.Total("comm") != 4 || p.Total("absent") != 0 {
+		t.Errorf("phase totals wrong: fft=%v comm=%v", p.Total("fft"), p.Total("comm"))
+	}
+	names := p.Names()
+	if len(names) != 2 || names[0] != "fft" || names[1] != "comm" {
+		t.Errorf("Names = %v, want first-use order", names)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := Counters{}
+	c.Add("steals", 3)
+	c.Add("steals", 2)
+	c.Add("local", 1)
+	if c.Get("steals") != 5 || c.Get("missing") != 0 {
+		t.Errorf("counters wrong: %v", c)
+	}
+	d := Counters{"steals": 10}
+	d.Merge(c)
+	if d.Get("steals") != 15 || d.Get("local") != 1 {
+		t.Errorf("merge wrong: %v", d)
+	}
+	if s := c.String(); s != "local=1 steals=5" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestMedianAndMean(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd median = %g", m)
+	}
+	if m := Median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Errorf("even median = %g", m)
+	}
+	if m := Median(nil); m != 0 {
+		t.Errorf("empty median = %g", m)
+	}
+	if m := Mean([]float64{1, 2, 3, 6}); m != 3 {
+		t.Errorf("mean = %g", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Errorf("empty mean = %g", m)
+	}
+}

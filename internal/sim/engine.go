@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sort"
+)
+
+// Engine is a sequential discrete-event simulator. Create one with New,
+// register root processes with Go, then call Run. The engine is not safe
+// for concurrent use from outside simulated processes; by construction only
+// one simulated process executes at any instant, so model state needs no
+// locking.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	parked chan struct{} // a proc signals here when it parks or finishes
+
+	procs   []*Proc
+	nLive   int
+	nDaemon int
+	cur     *Proc
+	inRun   bool
+	nextID  int
+
+	rng *rand.Rand
+
+	panicVal   any
+	panicProc  string
+	panicStack []byte
+}
+
+// New returns an engine whose internal randomness (used by model code via
+// Rand) is seeded with seed, making whole simulations reproducible.
+func New(seed int64) *Engine {
+	return &Engine{
+		parked: make(chan struct{}),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand exposes the engine's deterministic random source. Only simulated
+// processes and event callbacks may use it.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Cur reports the currently executing process, or nil when the engine
+// itself (an event callback) is running.
+func (e *Engine) Cur() *Proc { return e.cur }
+
+// Go registers a root process that starts at time zero (when called before
+// Run) or at the current time (when called from inside a running
+// simulation).
+func (e *Engine) Go(name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		id:     e.nextID,
+		name:   name,
+		resume: make(chan struct{}),
+		fn:     fn,
+	}
+	e.nextID++
+	e.procs = append(e.procs, p)
+	e.nLive++
+	e.schedule(e.now, p, nil)
+	return p
+}
+
+// After runs fn in engine context after d elapses. fn must not park; it is
+// for model-internal bookkeeping such as processor-sharing recomputation.
+func (e *Engine) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.schedule(e.now+d, nil, fn)
+}
+
+func (e *Engine) schedule(at Time, p *Proc, fn func()) {
+	e.seq++
+	e.events.push(&event{at: at, seq: e.seq, proc: p, fn: fn})
+}
+
+// unpark schedules a wake for a parked process at the current time. It is
+// exported indirectly through WaitQueue; raw use is reserved for sim's own
+// synchronization primitives.
+func (e *Engine) unpark(p *Proc) {
+	e.schedule(e.now, p, nil)
+}
+
+// Run executes the simulation until no events remain. It returns a
+// deadlock error if live processes remain parked with an empty event heap.
+// A panic inside a simulated process is re-raised with its origin noted.
+func (e *Engine) Run() error {
+	if e.inRun {
+		return fmt.Errorf("sim: Run called reentrantly")
+	}
+	e.inRun = true
+	defer func() { e.inRun = false }()
+
+	for len(e.events) > 0 {
+		ev := e.events.pop()
+		if ev.at < e.now {
+			panic(fmt.Sprintf("sim: time ran backwards: %v -> %v", e.now, ev.at))
+		}
+		e.now = ev.at
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		p := ev.proc
+		if p.finished {
+			continue
+		}
+		e.cur = p
+		if !p.started {
+			p.started = true
+			go p.top()
+		} else {
+			p.resume <- struct{}{}
+		}
+		<-e.parked
+		e.cur = nil
+		if e.panicVal != nil {
+			panic(fmt.Sprintf("sim: process %q panicked: %v\n%s",
+				e.panicProc, e.panicVal, e.panicStack))
+		}
+	}
+	if e.nLive > e.nDaemon {
+		var stuck []string
+		for _, p := range e.procs {
+			if p.daemon {
+				continue
+			}
+			if !p.finished && p.started {
+				stuck = append(stuck, fmt.Sprintf("%s (%s)", p.name, p.blocked))
+			} else if !p.finished {
+				stuck = append(stuck, p.name+" (never ran)")
+			}
+		}
+		sort.Strings(stuck)
+		return fmt.Errorf("sim: deadlock at %v: %d live processes: %v", e.now, e.nLive, stuck)
+	}
+	return nil
+}
+
+// Proc is a simulated execution context. All methods must be called from
+// the process's own goroutine while it is the running process.
+type Proc struct {
+	eng    *Engine
+	id     int
+	name   string
+	resume chan struct{}
+	fn     func(*Proc)
+
+	started  bool
+	finished bool
+	daemon   bool
+	blocked  string // park reason; empty while runnable
+}
+
+// ID reports the process's creation index, unique within its engine.
+func (p *Proc) ID() int { return p.id }
+
+// SetDaemon marks the process as a daemon: a simulation may finish while
+// daemons are still parked (persistent pool workers waiting for tasks).
+// Call it from the process itself or before it first runs.
+func (p *Proc) SetDaemon(on bool) {
+	if p.daemon == on {
+		return
+	}
+	p.daemon = on
+	if on {
+		p.eng.nDaemon++
+	} else {
+		p.eng.nDaemon--
+	}
+}
+
+// Name reports the label given at creation.
+func (p *Proc) Name() string { return p.name }
+
+// Engine reports the owning engine.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// top is the goroutine body wrapping the user function.
+func (p *Proc) top() {
+	defer func() {
+		if r := recover(); r != nil && p.eng.panicVal == nil {
+			p.eng.panicVal = r
+			p.eng.panicProc = p.name
+			p.eng.panicStack = debug.Stack()
+		}
+		p.finished = true
+		p.eng.nLive--
+		if p.daemon {
+			p.eng.nDaemon--
+		}
+		p.eng.parked <- struct{}{}
+	}()
+	p.fn(p)
+}
+
+// park suspends the process until the engine resumes it. The caller must
+// already have arranged a wake (a scheduled event or a WaitQueue entry).
+func (p *Proc) park(reason string) {
+	p.blocked = reason
+	p.eng.parked <- struct{}{}
+	<-p.resume
+	p.blocked = ""
+}
+
+// Advance charges d of virtual time to the process: it suspends and wakes
+// at now+d. Negative durations are treated as zero.
+func (p *Proc) Advance(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.schedule(p.eng.now+d, p, nil)
+	p.park("advance")
+}
+
+// Yield reschedules the process at the current time, letting any other
+// process with a pending event at now run first (FIFO order).
+func (p *Proc) Yield() {
+	p.eng.schedule(p.eng.now, p, nil)
+	p.park("yield")
+}
+
+// Go spawns a child process starting at the current virtual time.
+func (p *Proc) Go(name string, fn func(*Proc)) *Proc {
+	return p.eng.Go(name, fn)
+}
+
+// WaitQueue is a FIFO list of parked processes; the building block for
+// condition variables, mailboxes and resource queues.
+type WaitQueue struct {
+	waiters []*Proc
+}
+
+// Len reports how many processes are parked on the queue.
+func (q *WaitQueue) Len() int { return len(q.waiters) }
+
+// Wait parks p on the queue until a WakeOne/WakeAll reaches it.
+func (q *WaitQueue) Wait(p *Proc, reason string) {
+	q.waiters = append(q.waiters, p)
+	p.park(reason)
+}
+
+// WakeOne unparks the longest-waiting process, reporting whether one
+// existed. Must be called from simulation context.
+func (q *WaitQueue) WakeOne() bool {
+	if len(q.waiters) == 0 {
+		return false
+	}
+	p := q.waiters[0]
+	copy(q.waiters, q.waiters[1:])
+	q.waiters[len(q.waiters)-1] = nil
+	q.waiters = q.waiters[:len(q.waiters)-1]
+	p.eng.unpark(p)
+	return true
+}
+
+// WakeAll unparks every waiter, reporting how many were woken.
+func (q *WaitQueue) WakeAll() int {
+	n := len(q.waiters)
+	for _, p := range q.waiters {
+		p.eng.unpark(p)
+	}
+	q.waiters = q.waiters[:0]
+	return n
+}

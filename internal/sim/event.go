@@ -1,0 +1,42 @@
+package sim
+
+import "container/heap"
+
+// event is an entry in the engine's pending-event heap. Exactly one of
+// proc and fn is set: proc events resume a parked process; fn events run a
+// callback inline in engine context (used by resources such as
+// processor-sharing links that must reshuffle state at completion times).
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among simultaneous events
+	proc *Proc
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+func (h *eventHeap) push(ev *event) { heap.Push(h, ev) }
+
+func (h *eventHeap) pop() *event { return heap.Pop(h).(*event) }

@@ -1,0 +1,177 @@
+package sim
+
+import "math"
+
+// Server is a first-come-first-served pipelined resource, such as a NIC
+// injection port or a DMA engine: each request occupies the server for a
+// caller-supplied duration, requests are serviced in arrival order, and a
+// request's completion time is max(now, previous completion) + duration.
+// The requesting process sleeps until its completion.
+type Server struct {
+	busyUntil Time
+}
+
+// Delay enqueues an occupancy of d for p and suspends p until the request
+// completes. It returns the completion time.
+func (s *Server) Delay(p *Proc, d Duration) Time {
+	if d < 0 {
+		d = 0
+	}
+	start := p.Now()
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	s.busyUntil = start + d
+	if s.busyUntil > p.Now() {
+		p.Advance(s.busyUntil - p.Now())
+	}
+	return s.busyUntil
+}
+
+// Schedule reserves an occupancy of d without suspending the caller and
+// returns the completion time. Use it when one process charges work to a
+// resource on behalf of another (e.g. a NIC finishing a transfer that the
+// receiver, not the sender, waits on).
+func (s *Server) Schedule(now Time, d Duration) Time {
+	if d < 0 {
+		d = 0
+	}
+	start := now
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	s.busyUntil = start + d
+	return s.busyUntil
+}
+
+// BusyUntil reports the completion time of the last accepted request.
+func (s *Server) BusyUntil() Time { return s.busyUntil }
+
+// SharedLink models a bandwidth resource shared by concurrent flows with
+// processor-sharing fairness: while n flows are active each proceeds at
+// capacity/n. It reproduces the first-order behaviour of a memory
+// controller or a network link carrying simultaneous transfers.
+type SharedLink struct {
+	eng      *Engine
+	capacity float64 // bytes per second
+	flows    []*flow
+	last     Time   // time of the last work-accounting update
+	epoch    uint64 // invalidates stale completion callbacks
+}
+
+type flow struct {
+	remaining float64 // bytes
+	done      WaitQueue
+	finished  bool
+}
+
+// NewSharedLink creates a link with the given capacity in bytes/second on
+// engine e. A non-positive capacity makes all transfers instantaneous.
+func NewSharedLink(e *Engine, capacity float64) *SharedLink {
+	return &SharedLink{eng: e, capacity: capacity}
+}
+
+// Capacity reports the link's total bandwidth in bytes/second.
+func (l *SharedLink) Capacity() float64 { return l.capacity }
+
+// Active reports the number of in-flight flows.
+func (l *SharedLink) Active() int { return len(l.flows) }
+
+// Transfer moves size bytes across the link, suspending p until the flow
+// completes under processor sharing with all concurrent flows.
+func (l *SharedLink) Transfer(p *Proc, size int64) {
+	if size <= 0 || l.capacity <= 0 {
+		return
+	}
+	f := l.start(size)
+	if !f.finished {
+		f.done.Wait(p, "sharedlink")
+	}
+}
+
+// StartTransfer begins a flow without suspending the caller and returns a
+// completion handle. Wait on it from any process.
+func (l *SharedLink) StartTransfer(size int64) *Flow {
+	if size <= 0 || l.capacity <= 0 {
+		return &Flow{f: &flow{finished: true}}
+	}
+	return &Flow{f: l.start(size), l: l}
+}
+
+// Flow is a handle to an in-flight SharedLink transfer.
+type Flow struct {
+	f *flow
+	l *SharedLink
+}
+
+// Done reports whether the transfer has completed.
+func (fl *Flow) Done() bool { return fl.f.finished }
+
+// Wait suspends p until the transfer completes.
+func (fl *Flow) Wait(p *Proc) {
+	if !fl.f.finished {
+		fl.f.done.Wait(p, "flow-wait")
+	}
+}
+
+func (l *SharedLink) start(size int64) *flow {
+	l.account()
+	f := &flow{remaining: float64(size)}
+	l.flows = append(l.flows, f)
+	l.reschedule()
+	return f
+}
+
+// account charges elapsed bandwidth shares to every active flow.
+func (l *SharedLink) account() {
+	now := l.eng.Now()
+	if now > l.last && len(l.flows) > 0 {
+		share := l.capacity / float64(len(l.flows)) * (now - l.last).Seconds()
+		for _, f := range l.flows {
+			f.remaining -= share
+		}
+	}
+	l.last = now
+}
+
+// reschedule completes any drained flows and books the next completion
+// callback for the earliest remaining one.
+func (l *SharedLink) reschedule() {
+	const eps = 1e-6 // bytes; absorbs float rounding
+	kept := l.flows[:0]
+	for _, f := range l.flows {
+		if f.remaining <= eps {
+			f.finished = true
+			f.done.WakeAll()
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	for i := len(kept); i < len(l.flows); i++ {
+		l.flows[i] = nil
+	}
+	l.flows = kept
+	l.epoch++
+	if len(l.flows) == 0 {
+		return
+	}
+	minRem := math.Inf(1)
+	for _, f := range l.flows {
+		if f.remaining < minRem {
+			minRem = f.remaining
+		}
+	}
+	rate := l.capacity / float64(len(l.flows))
+	dt := FromSeconds(minRem / rate)
+	if dt < 1 {
+		dt = 1 // guarantee forward progress despite rounding
+	}
+	epoch := l.epoch
+	l.eng.After(dt, func() {
+		if l.epoch != epoch {
+			return // the flow set changed; a fresher callback is booked
+		}
+		l.account()
+		l.reschedule()
+	})
+}

@@ -1,0 +1,155 @@
+package sim
+
+// Mutex is a virtual-time mutual-exclusion lock with FIFO handoff.
+type Mutex struct {
+	holder *Proc
+	q      WaitQueue
+}
+
+// Lock acquires the mutex, suspending p until it is available.
+func (m *Mutex) Lock(p *Proc) {
+	for m.holder != nil {
+		m.q.Wait(p, "mutex")
+	}
+	m.holder = p
+}
+
+// TryLock acquires the mutex if free, reporting success. It never blocks.
+func (m *Mutex) TryLock(p *Proc) bool {
+	if m.holder != nil {
+		return false
+	}
+	m.holder = p
+	return true
+}
+
+// Unlock releases the mutex and wakes the longest waiter, if any. It
+// panics if p does not hold the lock.
+func (m *Mutex) Unlock(p *Proc) {
+	if m.holder != p {
+		panic("sim: Mutex.Unlock by non-holder " + p.Name())
+	}
+	m.holder = nil
+	m.q.WakeOne()
+}
+
+// Holder reports the current owner, or nil.
+func (m *Mutex) Holder() *Proc { return m.holder }
+
+// Semaphore is a counting semaphore in virtual time.
+type Semaphore struct {
+	count int
+	q     WaitQueue
+}
+
+// NewSemaphore returns a semaphore with an initial count.
+func NewSemaphore(count int) *Semaphore { return &Semaphore{count: count} }
+
+// Acquire takes one unit, suspending p until available.
+func (s *Semaphore) Acquire(p *Proc) {
+	for s.count <= 0 {
+		s.q.Wait(p, "semaphore")
+	}
+	s.count--
+}
+
+// Release returns one unit and wakes a waiter.
+func (s *Semaphore) Release() {
+	s.count++
+	s.q.WakeOne()
+}
+
+// Count reports the available units.
+func (s *Semaphore) Count() int { return s.count }
+
+// Barrier synchronizes a fixed population of n processes. It is reusable
+// across generations.
+type Barrier struct {
+	n       int
+	arrived int
+	q       WaitQueue
+}
+
+// NewBarrier returns a barrier for n participants.
+func NewBarrier(n int) *Barrier { return &Barrier{n: n} }
+
+// Wait blocks p until all n participants have arrived.
+func (b *Barrier) Wait(p *Proc) {
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.q.WakeAll()
+		return
+	}
+	b.q.Wait(p, "barrier")
+}
+
+// N reports the participant count.
+func (b *Barrier) N() int { return b.n }
+
+// Mailbox is an unbounded FIFO channel between simulated processes.
+type Mailbox struct {
+	q       []any
+	waiters WaitQueue
+}
+
+// Send appends v and wakes one waiting receiver. It never blocks.
+func (m *Mailbox) Send(v any) {
+	m.q = append(m.q, v)
+	m.waiters.WakeOne()
+}
+
+// Recv removes and returns the oldest message, suspending p while empty.
+func (m *Mailbox) Recv(p *Proc) any {
+	for len(m.q) == 0 {
+		m.waiters.Wait(p, "mailbox")
+	}
+	v := m.q[0]
+	copy(m.q, m.q[1:])
+	m.q[len(m.q)-1] = nil
+	m.q = m.q[:len(m.q)-1]
+	return v
+}
+
+// TryRecv removes the oldest message if one exists.
+func (m *Mailbox) TryRecv() (any, bool) {
+	if len(m.q) == 0 {
+		return nil, false
+	}
+	v := m.q[0]
+	copy(m.q, m.q[1:])
+	m.q[len(m.q)-1] = nil
+	m.q = m.q[:len(m.q)-1]
+	return v, true
+}
+
+// Len reports the queued message count.
+func (m *Mailbox) Len() int { return len(m.q) }
+
+// Event is a one-shot completion flag that any number of processes can
+// wait on; the counterpart of a non-blocking operation handle.
+type Event struct {
+	fired bool
+	q     WaitQueue
+}
+
+// Fire marks the event complete and wakes all waiters. Firing twice is a
+// no-op.
+func (ev *Event) Fire() {
+	if ev.fired {
+		return
+	}
+	ev.fired = true
+	ev.q.WakeAll()
+}
+
+// Fired reports whether the event has completed.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Wait suspends p until the event fires. Returns immediately if already
+// fired.
+func (ev *Event) Wait(p *Proc) {
+	if !ev.fired {
+		ev.q.Wait(p, "event")
+	}
+}

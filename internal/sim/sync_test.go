@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestMutexExclusionAndFIFO(t *testing.T) {
+	e := New(1)
+	var mu Mutex
+	var order []string
+	inside := 0
+	for i := 0; i < 4; i++ {
+		e.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			mu.Lock(p)
+			inside++
+			if inside != 1 {
+				t.Errorf("mutual exclusion violated: %d inside", inside)
+			}
+			order = append(order, p.Name())
+			p.Advance(10)
+			inside--
+			mu.Unlock(p)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "[w0 w1 w2 w3]"
+	if fmt.Sprint(order) != want {
+		t.Errorf("lock handoff order = %v, want %s", order, want)
+	}
+}
+
+func TestMutexTryLock(t *testing.T) {
+	e := New(1)
+	var mu Mutex
+	e.Go("a", func(p *Proc) {
+		if !mu.TryLock(p) {
+			t.Error("TryLock on free mutex must succeed")
+		}
+		p.Advance(50)
+		mu.Unlock(p)
+	})
+	e.Go("b", func(p *Proc) {
+		p.Advance(10)
+		if mu.TryLock(p) {
+			t.Error("TryLock on held mutex must fail")
+		}
+		p.Advance(100)
+		if !mu.TryLock(p) {
+			t.Error("TryLock after release must succeed")
+		}
+		mu.Unlock(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutexUnlockByNonHolderPanics(t *testing.T) {
+	e := New(1)
+	var mu Mutex
+	e.Go("a", func(p *Proc) { mu.Lock(p) })
+	e.Go("b", func(p *Proc) {
+		p.Advance(1)
+		mu.Unlock(p) // not the holder
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unlock by non-holder")
+		}
+	}()
+	e.Run()
+}
+
+func TestSemaphoreLimitsConcurrency(t *testing.T) {
+	e := New(1)
+	sem := NewSemaphore(2)
+	active, peak := 0, 0
+	for i := 0; i < 6; i++ {
+		e.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			sem.Acquire(p)
+			active++
+			if active > peak {
+				peak = active
+			}
+			p.Advance(10)
+			active--
+			sem.Release()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if peak != 2 {
+		t.Errorf("peak concurrency = %d, want 2", peak)
+	}
+}
+
+func TestBarrierReleasesTogether(t *testing.T) {
+	e := New(1)
+	b := NewBarrier(3)
+	var releases []Time
+	for i, d := range []Duration{5, 20, 50} {
+		dd := d
+		e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Advance(dd)
+			b.Wait(p)
+			releases = append(releases, p.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range releases {
+		if r != 50 {
+			t.Errorf("release at %v, want 50 (latest arrival)", r)
+		}
+	}
+}
+
+func TestBarrierReusableAcrossGenerations(t *testing.T) {
+	e := New(1)
+	b := NewBarrier(2)
+	counts := [2]int{}
+	for i := 0; i < 2; i++ {
+		idx := i
+		e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for round := 0; round < 5; round++ {
+				p.Advance(Duration(1 + idx*3))
+				b.Wait(p)
+				counts[idx]++
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 5 || counts[1] != 5 {
+		t.Errorf("rounds completed = %v, want [5 5]", counts)
+	}
+}
+
+func TestMailboxFIFOAndBlocking(t *testing.T) {
+	e := New(1)
+	var mb Mailbox
+	var got []int
+	var recvTime Time
+	e.Go("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, mb.Recv(p).(int))
+		}
+		recvTime = p.Now()
+	})
+	e.Go("producer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Advance(10)
+			mb.Send(i)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[0 1 2]" {
+		t.Errorf("messages = %v, want [0 1 2]", got)
+	}
+	if recvTime != 30 {
+		t.Errorf("last receive at %v, want 30", recvTime)
+	}
+}
+
+func TestMailboxTryRecv(t *testing.T) {
+	var mb Mailbox
+	if _, ok := mb.TryRecv(); ok {
+		t.Error("TryRecv on empty mailbox must fail")
+	}
+	mb.Send("x")
+	v, ok := mb.TryRecv()
+	if !ok || v != "x" {
+		t.Errorf("TryRecv = %v,%v; want x,true", v, ok)
+	}
+	if mb.Len() != 0 {
+		t.Errorf("Len = %d after drain", mb.Len())
+	}
+}
+
+func TestEventWaitBeforeAndAfterFire(t *testing.T) {
+	e := New(1)
+	var ev Event
+	var wokeAt Time = -1
+	e.Go("waiter", func(p *Proc) {
+		ev.Wait(p)
+		wokeAt = p.Now()
+		ev.Wait(p) // already fired: must not block
+		ev.Fire()  // double fire: no-op
+	})
+	e.Go("firer", func(p *Proc) {
+		p.Advance(33)
+		ev.Fire()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wokeAt != 33 {
+		t.Errorf("waiter woke at %v, want 33", wokeAt)
+	}
+	if !ev.Fired() {
+		t.Error("event should report fired")
+	}
+}

@@ -1,0 +1,96 @@
+package subthread
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/upc"
+)
+
+// TestTaskPanicPropagates: a panic inside a sub-thread task must surface
+// through the engine with the worker identified, not hang the run.
+func TestTaskPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected task panic to propagate")
+		}
+		if !strings.Contains(strings.ToLower(fmtSprint(r)), "sub") {
+			t.Errorf("panic should identify the sub-thread process: %v", r)
+		}
+	}()
+	upc.Run(cfg1(1), func(th *upc.Thread) {
+		tm, _ := NewTeam(th, Config{Kind: Pool, N: 3, Bound: true})
+		tm.ParallelFor(8, func(s *Sub, i int) {
+			if i == 5 && !s.IsMaster() {
+				panic("task blew up")
+			}
+			s.Compute(1e-6)
+		})
+	})
+}
+
+func fmtSprint(v any) string {
+	if s, ok := v.(string); ok {
+		return s
+	}
+	return ""
+}
+
+// TestTeamsOnManyMastersShareNoState: several masters on one node each
+// with their own team must not interfere.
+func TestTeamsOnManyMastersShareNoState(t *testing.T) {
+	sums := make([]int, 4)
+	_, err := upc.Run(cfg1(4), func(th *upc.Thread) {
+		tm, err := NewTeam(th, Config{Kind: OMP, N: 2, Bound: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			tm.ParallelFor(10, func(s *Sub, i int) {
+				s.Compute(1e-6)
+				sums[th.ID] += i
+			})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, got := range sums {
+		if got != 3*45 {
+			t.Errorf("master %d accumulated %d, want %d", id, got, 3*45)
+		}
+	}
+}
+
+// TestParallelForZeroIterations is a no-op, including the fork overhead.
+func TestParallelForZeroIterations(t *testing.T) {
+	runMaster(t, func(th *upc.Thread) {
+		tm, _ := NewTeam(th, Config{Kind: OMP, N: 4, Bound: true})
+		before := th.Now()
+		tm.ParallelFor(0, func(*Sub, int) { t.Error("body must not run") })
+		if th.Now() != before {
+			t.Error("empty ParallelFor should charge nothing")
+		}
+	})
+}
+
+// TestSpawnWithoutSyncThenSync: tasks spawned across several batches all
+// complete once Sync is finally called.
+func TestSpawnWithoutSyncThenSync(t *testing.T) {
+	done := 0
+	runMaster(t, func(th *upc.Thread) {
+		tm, _ := NewTeam(th, Config{Kind: Pool, N: 2, Bound: true})
+		for i := 0; i < 5; i++ {
+			tm.Spawn(func(s *Sub) { s.Compute(1e-6); done++ })
+		}
+		th.Compute(1e-4) // workers drain in the background meanwhile
+		for i := 0; i < 5; i++ {
+			tm.Spawn(func(s *Sub) { s.Compute(1e-6); done++ })
+		}
+		tm.Sync()
+	})
+	if done != 10 {
+		t.Errorf("completed %d tasks, want 10", done)
+	}
+}

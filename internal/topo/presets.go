@@ -1,0 +1,63 @@
+package topo
+
+// Presets model the two clusters hosted at the GWU High Performance
+// Computing Laboratory that the thesis evaluates on (Table 2.1). The rate
+// calibrations are derived from the paper's own measurements: STREAM triad
+// throughputs (Tables 3.1 and 4.1), the 15–40% ccNUMA penalty quoted in
+// Chapter 2, the 5–30% SMT kernel speedups observed in Figure 4.4, and the
+// shared-pointer translation overhead implied by the 3.2 GB/s baseline of
+// Table 3.1.
+
+// Pyramid returns the Sun X2200 cluster model: 128 nodes of dual-socket
+// quad-core 2.2 GHz AMD Opteron 2354 (Barcelona), no SMT, DDR InfiniBand
+// (GigE also available).
+func Pyramid() *Machine {
+	return &Machine{
+		Name:           "pyramid",
+		Nodes:          128,
+		SocketsPerNode: 2,
+		CoresPerSocket: 4,
+		ThreadsPerCore: 1,
+		ClockGHz:       2.2,
+		FlopsPerCore:   2.0e9, // sustained, FFT-like (peak 8.8 GF)
+		MemBWSocket:    6.4e9, // DDR2-667 dual channel, triad-sustained
+		NUMAFactor:     1.25,  // HyperTransport cross-socket penalty
+		SMTThroughput:  1.0,   // no SMT
+		PtrXlate:       19e-9, // Berkeley UPC shared-pointer deref cost (per access)
+		DefaultConduit: "ibv-ddr",
+	}
+}
+
+// Lehman returns the GPU-cluster model (GPUs unused in the thesis): 12
+// nodes of dual-socket quad-core 2.27 GHz Intel Xeon E5520 (Nehalem) with
+// 2-way HyperThreading and QDR InfiniBand.
+func Lehman() *Machine {
+	return &Machine{
+		Name:           "lehman",
+		Nodes:          12,
+		SocketsPerNode: 2,
+		CoresPerSocket: 4,
+		ThreadsPerCore: 2,
+		ClockGHz:       2.27,
+		FlopsPerCore:   2.6e9,  // sustained, FFT-like (peak 9.1 GF)
+		MemBWSocket:    12.3e9, // DDR3 triple channel, triad-sustained
+		NUMAFactor:     1.3,    // QPI cross-socket penalty
+		SMTThroughput:  1.2,    // two HT threads ≈ 1.2× one (5–30% in paper)
+		PtrXlate:       19e-9,
+		DefaultConduit: "ibv-qdr",
+	}
+}
+
+// ByName resolves a preset machine model by its lowercase name.
+func ByName(name string) (*Machine, bool) {
+	switch name {
+	case "pyramid":
+		return Pyramid(), true
+	case "lehman":
+		return Lehman(), true
+	}
+	return nil, false
+}
+
+// Presets lists the available machine model names.
+func Presets() []string { return []string{"lehman", "pyramid"} }

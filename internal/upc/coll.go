@@ -1,0 +1,116 @@
+package upc
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Collective rendezvous machinery: every thread's k-th collective call
+// resolves to one slot; the last arrival combines the contributions and
+// books the release after the modeled tree cost.
+
+type collSlot struct {
+	arrived int
+	vals    []any
+	result  any
+	ev      *sim.Event
+}
+
+func (rt *Runtime) collSlot(seq int) *collSlot {
+	for len(rt.colls) <= seq {
+		rt.colls = append(rt.colls, nil)
+	}
+	if rt.colls[seq] == nil {
+		rt.colls[seq] = &collSlot{
+			vals: make([]any, rt.Cfg.Threads),
+			ev:   &sim.Event{},
+		}
+	}
+	return rt.colls[seq]
+}
+
+// collCost models a binomial-tree collective moving bytes per round:
+// ceil(log2(nodes)) network rounds plus an intra-node combine.
+func (rt *Runtime) collCost(bytes int64) sim.Duration {
+	cond := &rt.Cluster.Conduit
+	cost := 2 * cond.LoopbackLatency
+	if rt.nodesUsed > 1 {
+		rounds := int64(math.Ceil(math.Log2(float64(rt.nodesUsed))))
+		per := cond.Latency + cond.SendOverhead + cond.RecvOverhead +
+			sim.TransferTime(bytes, cond.ConnBW)
+		cost += sim.Duration(rounds) * per
+	}
+	return cost
+}
+
+// runCollective enters thread t's next collective with contribution val;
+// the last arrival runs combine over all contributions (indexed by thread
+// id) and every thread returns the combined result after the tree cost for
+// the given payload size.
+func runCollective(t *Thread, val any, bytes int64, combine func(vals []any) any) any {
+	slot := t.rt.collSlot(t.collSeq)
+	t.collSeq++
+	slot.vals[t.ID] = val
+	slot.arrived++
+	if slot.arrived == t.N {
+		slot.result = combine(slot.vals)
+		t.rt.Eng.After(t.rt.collCost(bytes), slot.ev.Fire)
+	}
+	slot.ev.Wait(t.P)
+	return slot.result
+}
+
+// AllReduce combines one value per thread with an associative operator and
+// returns the reduction on every thread (upc_all_reduce + broadcast).
+func AllReduce[T any](t *Thread, val T, elemBytes int, combine func(a, b T) T) T {
+	r := runCollective(t, val, int64(elemBytes), func(vals []any) any {
+		acc := vals[0].(T)
+		for _, v := range vals[1:] {
+			acc = combine(acc, v.(T))
+		}
+		return acc
+	})
+	return r.(T)
+}
+
+// AllReduceSum sums one float64 per thread across all threads.
+func AllReduceSum(t *Thread, v float64) float64 {
+	return AllReduce(t, v, 8, func(a, b float64) float64 { return a + b })
+}
+
+// AllReduceMax takes the maximum of one float64 per thread.
+func AllReduceMax(t *Thread, v float64) float64 {
+	return AllReduce(t, v, 8, func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// AllReduceSumInt sums one int64 per thread.
+func AllReduceSumInt(t *Thread, v int64) int64 {
+	return AllReduce(t, v, 8, func(a, b int64) int64 { return a + b })
+}
+
+// Broadcast distributes root's value to every thread (upc_all_broadcast).
+func Broadcast[T any](t *Thread, root int, val T, elemBytes int) T {
+	r := runCollective(t, val, int64(elemBytes), func(vals []any) any {
+		return vals[root]
+	})
+	return r.(T)
+}
+
+// AllGather returns the slice of every thread's contribution, indexed by
+// thread id, on every thread (upc_all_gather_all).
+func AllGather[T any](t *Thread, val T, elemBytes int) []T {
+	r := runCollective(t, val, int64(elemBytes)*int64(t.N), func(vals []any) any {
+		out := make([]T, len(vals))
+		for i, v := range vals {
+			out[i] = v.(T)
+		}
+		return out
+	})
+	return r.([]T)
+}

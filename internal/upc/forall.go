@@ -1,0 +1,168 @@
+package upc
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// ForAll is upc_forall with pointer affinity: every thread calls it with
+// the same bounds, and body(i) runs on the thread with affinity to s's
+// element i. The iteration itself is local control flow (no cost beyond
+// the body's own charges).
+func ForAll[T any](t *Thread, s *Shared[T], lo, hi int, body func(i int)) {
+	if lo < 0 || hi > s.n {
+		panic(fmt.Sprintf("upc: ForAll [%d,%d) outside array of %d", lo, hi, s.n))
+	}
+	for i := lo; i < hi; i++ {
+		if s.Owner(i) == t.ID {
+			body(i)
+		}
+	}
+}
+
+// ForAllStride is upc_forall with integer affinity: body(i) runs on
+// thread i%THREADS.
+func ForAllStride(t *Thread, lo, hi int, body func(i int)) {
+	for i := lo; i < hi; i++ {
+		if i%t.N == t.ID {
+			body(i)
+		}
+	}
+}
+
+// ---- Array collectives (the upc_all_* data-movement library) ----
+
+// BroadcastT copies n elements from root's partition (starting at rootOff)
+// into every thread's partition at dstOff (upc_all_broadcast over a
+// binomial tree: log2(nodes) rounds of bulk puts plus intra-node copies).
+func BroadcastT[T any](t *Thread, s *Shared[T], root, rootOff, dstOff, n int) {
+	checkRange(s.PartLen(t.ID), dstOff, n, "BroadcastT")
+	t.Barrier()
+	// Data really moves once: the root's values land everywhere. Cost is
+	// charged as the tree the collective library would use.
+	if t.ID == root {
+		// Snapshot the source: the root's own destination may overlap it.
+		src := append([]T(nil), s.segs[root][rootOff:rootOff+n]...)
+		for th := 0; th < t.N; th++ {
+			copy(s.segs[th][dstOff:dstOff+n], src)
+		}
+	}
+	t.chargeTreeCollective(int64(n) * int64(s.elemBytes))
+	t.Barrier()
+}
+
+// ScatterT distributes consecutive n-element chunks of root's partition:
+// thread i receives root's chunk [rootOff+i*n, rootOff+(i+1)*n) at dstOff
+// (upc_all_scatter).
+func ScatterT[T any](t *Thread, s *Shared[T], root, rootOff, dstOff, n int) {
+	checkRange(s.PartLen(t.ID), dstOff, n, "ScatterT")
+	checkRange(s.PartLen(root), rootOff, n*t.N, "ScatterT(root)")
+	t.Barrier()
+	if t.ID == root {
+		for th := 0; th < t.N; th++ {
+			copy(s.segs[th][dstOff:dstOff+n],
+				s.segs[root][rootOff+th*n:rootOff+(th+1)*n])
+		}
+	}
+	t.chargeTreeCollective(int64(n) * int64(s.elemBytes))
+	t.Barrier()
+}
+
+// GatherT collects each thread's n elements at srcOff into root's
+// partition at rootOff, ordered by thread id (upc_all_gather).
+func GatherT[T any](t *Thread, s *Shared[T], root, rootOff, srcOff, n int) {
+	checkRange(s.PartLen(t.ID), srcOff, n, "GatherT")
+	checkRange(s.PartLen(root), rootOff, n*t.N, "GatherT(root)")
+	t.Barrier()
+	if t.ID == root {
+		for th := 0; th < t.N; th++ {
+			copy(s.segs[root][rootOff+th*n:rootOff+(th+1)*n],
+				s.segs[th][srcOff:srcOff+n])
+		}
+	}
+	t.chargeTreeCollective(int64(n) * int64(s.elemBytes))
+	t.Barrier()
+}
+
+// chargeTreeCollective charges one binomial-tree data collective of the
+// given payload per round.
+func (t *Thread) chargeTreeCollective(bytes int64) {
+	t.P.Advance(t.rt.collCost(bytes))
+}
+
+// ---- Atomics (the bupc_atomic extension) ----
+
+// AtomicI64 is a shared 64-bit integer with atomic read-modify-write
+// operations executed at its home thread. Remote callers pay a control
+// round trip; same-node callers under shared memory pay a cache-line
+// ping.
+type AtomicI64 struct {
+	rt    *Runtime
+	home  int
+	value int64
+}
+
+// AllocAtomicI64 collectively creates an atomic counter homed on the
+// given thread with an initial value.
+func AllocAtomicI64(t *Thread, home int, initial int64) *AtomicI64 {
+	if home < 0 || home >= t.N {
+		panic(fmt.Sprintf("upc: AllocAtomicI64 home %d of %d", home, t.N))
+	}
+	t.Barrier()
+	rec := t.rt.allocRecord(t.allocSeq, 1, 8, home+1, func() any {
+		return &AtomicI64{rt: t.rt, home: home, value: initial}
+	})
+	t.allocSeq++
+	a, ok := rec.(*AtomicI64)
+	if !ok {
+		panic("upc: collective Alloc type mismatch (expected AtomicI64)")
+	}
+	t.Barrier()
+	return a
+}
+
+// rtt charges the round trip to the atomic's home.
+func (a *AtomicI64) rtt(t *Thread) {
+	cond := &a.rt.Cluster.Conduit
+	switch {
+	case t.ID == a.home:
+		t.P.Advance(60 * sim.Nanosecond)
+	case t.Distance(a.home) != topo.LevelRemote && a.rt.Cfg.sharedMem():
+		t.P.Advance(400 * sim.Nanosecond) // cache-line ping-pong
+	default:
+		t.P.Advance(2 * (cond.SendOverhead + cond.MsgGap + cond.Latency))
+	}
+}
+
+// Load atomically reads the value (one-way fetch cost).
+func (a *AtomicI64) Load(t *Thread) int64 {
+	a.rtt(t)
+	return a.value
+}
+
+// Add atomically adds delta and returns the new value
+// (bupc_atomicI64_fetchadd + delta).
+func (a *AtomicI64) Add(t *Thread, delta int64) int64 {
+	a.rtt(t)
+	a.value += delta
+	return a.value
+}
+
+// CompareAndSwap atomically replaces old with new when equal, reporting
+// success (bupc_atomicI64_cswap).
+func (a *AtomicI64) CompareAndSwap(t *Thread, old, new int64) bool {
+	a.rtt(t)
+	if a.value != old {
+		return false
+	}
+	a.value = new
+	return true
+}
+
+// Store atomically writes the value.
+func (a *AtomicI64) Store(t *Thread, v int64) {
+	a.rtt(t)
+	a.value = v
+}

@@ -1,0 +1,318 @@
+package upc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func TestForAllCoversEachElementOnce(t *testing.T) {
+	counts := make([]int, 100)
+	owners := make([]int, 100)
+	_, err := Run(testCfg(4, 2, Processes, true), func(th *Thread) {
+		s := Alloc[int](th, 100, 8, 7)
+		ForAll(th, s, 0, 100, func(i int) {
+			counts[i]++
+			owners[i] = th.ID
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Errorf("element %d visited %d times", i, c)
+		}
+	}
+	// Affinity: body ran on the owning thread.
+	s := &Shared[int]{n: 100, elemBytes: 8, block: 7, segs: make([][]int, 4)}
+	for i := range counts {
+		if owners[i] != s.Owner(i) {
+			t.Errorf("element %d ran on %d, owner is %d", i, owners[i], s.Owner(i))
+		}
+	}
+}
+
+func TestForAllStridePartitions(t *testing.T) {
+	counts := make([]int, 64)
+	_, err := Run(testCfg(4, 2, Processes, true), func(th *Thread) {
+		ForAllStride(th, 0, 64, func(i int) {
+			counts[i]++
+			if i%th.N != th.ID {
+				t.Errorf("element %d ran on thread %d", i, th.ID)
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Errorf("element %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestBroadcastTArrayCollective(t *testing.T) {
+	_, err := Run(testCfg(4, 2, Processes, true), func(th *Thread) {
+		s := Alloc[float64](th, 64, 8, 16)
+		if th.ID == 2 {
+			for i := 0; i < 8; i++ {
+				s.Local(th)[i] = float64(i) * 1.5
+			}
+		}
+		BroadcastT(th, s, 2, 0, 4, 8)
+		for i := 0; i < 8; i++ {
+			if got := s.Local(th)[4+i]; got != float64(i)*1.5 {
+				t.Errorf("thread %d: bcast[%d] = %g", th.ID, i, got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	_, err := Run(testCfg(4, 2, Processes, true), func(th *Thread) {
+		s := Alloc[int32](th, 4*32, 4, 32)
+		if th.ID == 0 {
+			for i := 0; i < 16; i++ {
+				s.Local(th)[8+i] = int32(100 + i)
+			}
+		}
+		// Scatter 4-element chunks from thread 0's offset 8 to offset 0.
+		ScatterT(th, s, 0, 8, 0, 4)
+		for i := 0; i < 4; i++ {
+			want := int32(100 + th.ID*4 + i)
+			if got := s.Local(th)[i]; got != want {
+				t.Errorf("thread %d: scatter[%d] = %d, want %d", th.ID, i, got, want)
+			}
+		}
+		// Gather them back to thread 1 at offset 16.
+		GatherT(th, s, 1, 16, 0, 4)
+		if th.ID == 1 {
+			for i := 0; i < 16; i++ {
+				if got := s.Local(th)[16+i]; got != int32(100+i) {
+					t.Errorf("gather[%d] = %d, want %d", i, got, 100+i)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectivesChargeTime(t *testing.T) {
+	var spent sim.Duration
+	_, err := Run(testCfg(4, 2, Processes, true), func(th *Thread) {
+		s := Alloc[byte](th, 4*1024, 1, 1024)
+		start := th.Now()
+		BroadcastT(th, s, 0, 0, 0, 1024)
+		if th.ID == 0 {
+			spent = th.Now() - start
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spent <= 0 {
+		t.Error("array broadcast must charge virtual time")
+	}
+}
+
+func TestAtomicAddAcrossThreads(t *testing.T) {
+	var final int64
+	_, err := Run(testCfg(8, 4, Processes, true), func(th *Thread) {
+		a := AllocAtomicI64(th, 0, 100)
+		th.Barrier()
+		for i := 0; i < 10; i++ {
+			a.Add(th, 1)
+		}
+		th.Barrier()
+		final = a.Load(th)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final != 180 {
+		t.Errorf("atomic total = %d, want 180", final)
+	}
+}
+
+func TestAtomicCASAndStore(t *testing.T) {
+	_, err := Run(testCfg(2, 2, Processes, true), func(th *Thread) {
+		a := AllocAtomicI64(th, 1, 5)
+		th.Barrier()
+		if th.ID == 0 {
+			if !a.CompareAndSwap(th, 5, 9) {
+				t.Error("CAS(5->9) on value 5 must succeed")
+			}
+			if a.CompareAndSwap(th, 5, 11) {
+				t.Error("CAS(5->11) on value 9 must fail")
+			}
+			a.Store(th, 42)
+		}
+		th.Barrier()
+		if got := a.Load(th); got != 42 {
+			t.Errorf("final value %d, want 42", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtomicRemoteCostsMoreThanHome(t *testing.T) {
+	var homeCost, remoteCost sim.Duration
+	_, err := Run(testCfg(4, 2, Processes, true), func(th *Thread) {
+		a := AllocAtomicI64(th, 0, 0)
+		th.Barrier()
+		start := th.Now()
+		a.Add(th, 1)
+		d := th.Now() - start
+		switch th.ID {
+		case 0:
+			homeCost = d
+		case 2: // other node
+			remoteCost = d
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remoteCost <= homeCost {
+		t.Errorf("remote atomic (%v) must cost more than home (%v)", remoteCost, homeCost)
+	}
+}
+
+func TestPutBytesAndGetBytesModelTransfers(t *testing.T) {
+	var putD, getD sim.Duration
+	_, err := Run(testCfg(4, 2, Processes, true), func(th *Thread) {
+		th.Barrier()
+		if th.ID == 0 {
+			start := th.Now()
+			th.PutBytes(2, 1<<20) // remote node
+			putD = th.Now() - start
+			start = th.Now()
+			th.GetBytes(2, 1<<20)
+			getD = th.Now() - start
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := sim.TransferTime(1<<20, 1.5e9)
+	if putD < floor || getD < floor {
+		t.Errorf("model transfers below bandwidth floor: put=%v get=%v floor=%v", putD, getD, floor)
+	}
+}
+
+func TestApplyAsyncRunsHandlerAtDelivery(t *testing.T) {
+	applied := false
+	_, err := Run(testCfg(2, 1, Processes, true), func(th *Thread) {
+		th.Barrier()
+		if th.ID == 0 {
+			h := ApplyAsync(th, 1, 4096, func() { applied = true })
+			if applied {
+				t.Error("handler must not run before delivery")
+			}
+			th.WaitSync(h)
+			if !applied {
+				t.Error("handler must have run by WaitSync return")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnProcViewChargesToSubProc(t *testing.T) {
+	// A view bound to another process must advance that process's clock,
+	// not the master's.
+	_, err := Run(testCfg(2, 1, Processes, true), func(th *Thread) {
+		th.Barrier()
+		if th.ID != 0 {
+			return
+		}
+		done := &sim.Event{}
+		var subElapsed sim.Duration
+		masterStart := th.Now()
+		th.P.Go("sub", func(p *sim.Proc) {
+			v := th.OnProc(p, topo.Place{Node: th.Place.Node, Socket: th.Place.Socket, Core: 1})
+			s0 := p.Now()
+			v.PutBytes(1, 1<<20)
+			subElapsed = p.Now() - s0
+			done.Fire()
+		})
+		done.Wait(th.P)
+		if subElapsed <= 0 {
+			t.Error("sub-thread put charged no time")
+		}
+		// The master only waited; it must not have advanced beyond the
+		// sub's completion (same instant).
+		if th.Now()-masterStart != subElapsed {
+			t.Errorf("master advanced %v, sub took %v", th.Now()-masterStart, subElapsed)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInternReturnsSingleton(t *testing.T) {
+	_, err := Run(testCfg(4, 2, Processes, true), func(th *Thread) {
+		v := th.Runtime().Intern("k", func() any { return new(int) })
+		w := th.Runtime().Intern("k", func() any { return new(int) })
+		if v != w {
+			t.Error("Intern must return the same object for one key")
+		}
+		u := th.Runtime().Intern("k2", func() any { return new(int) })
+		if u == v {
+			t.Error("distinct keys must intern distinct objects")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionMatchesLocal(t *testing.T) {
+	_, err := Run(testCfg(4, 2, Processes, true), func(th *Thread) {
+		s := Alloc[int](th, 32, 8, 8)
+		s.Local(th)[0] = th.ID * 11
+		th.Barrier()
+		for p := 0; p < th.N; p++ {
+			if got := s.Partition(p)[0]; got != p*11 {
+				t.Errorf("Partition(%d)[0] = %d, want %d", p, got, p*11)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockedLayoutProperty(t *testing.T) {
+	f := func(nRaw, thRaw uint8) bool {
+		n := int(nRaw) + 1
+		threads := int(thRaw)%16 + 1
+		b := BlockedLayout(n, threads)
+		// Every element fits in exactly one of `threads` blocks of size b.
+		return b*threads >= n && (b-1)*threads < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHandleTryOnNilOp(t *testing.T) {
+	h := &Handle{}
+	if !h.Try() {
+		t.Error("zero Handle must report complete")
+	}
+}

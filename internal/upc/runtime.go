@@ -1,0 +1,218 @@
+// Package upc implements a UPC-style PGAS language runtime on the
+// simulated cluster fabric: SPMD thread launch (MYTHREAD/THREADS), a
+// partitioned global address space with block-cyclic shared arrays,
+// one-sided bulk copies (blocking and asynchronous with explicit
+// synchronization handles), split-phase barriers, global locks,
+// collectives, the Berkeley castability extension (pointer privatization),
+// and the runtime thread-layout query. Two backend regimes mirror the
+// Berkeley UPC options the thesis evaluates: process-based threads (one
+// network connection each, optionally with inter-process shared memory —
+// PSHM) and pthread-based threads (one shared connection per node, native
+// shared memory).
+package upc
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Backend selects how UPC language threads are realized.
+type Backend int
+
+const (
+	// Processes runs each UPC thread as an OS process: one network
+	// connection per thread; intra-node shared memory only via PSHM.
+	Processes Backend = iota
+	// Pthreads runs the node's UPC threads inside one process: they share
+	// a single network connection and have native shared memory.
+	Pthreads
+)
+
+// String names the backend.
+func (b Backend) String() string {
+	if b == Pthreads {
+		return "pthreads"
+	}
+	return "processes"
+}
+
+// Config describes one SPMD execution.
+type Config struct {
+	Machine        *topo.Machine   // cluster model (required)
+	Conduit        *fabric.Conduit // nil = machine's default conduit
+	Threads        int             // THREADS
+	ThreadsPerNode int             // blocked layout over nodes
+	Backend        Backend
+	PSHM           bool         // inter-process shared memory (Processes only)
+	Binding        topo.Binding // intra-node placement policy
+	Seed           int64        // engine seed
+}
+
+// sharedMem reports whether two threads on the same node can address each
+// other's shared segments directly (pthreads always; processes need PSHM).
+func (c *Config) sharedMem() bool { return c.Backend == Pthreads || c.PSHM }
+
+func (c *Config) conduit() (fabric.Conduit, error) {
+	if c.Conduit != nil {
+		return *c.Conduit, nil
+	}
+	cond, ok := fabric.ConduitByName(c.Machine.DefaultConduit)
+	if !ok {
+		return fabric.Conduit{}, fmt.Errorf("upc: machine %s names unknown conduit %q",
+			c.Machine.Name, c.Machine.DefaultConduit)
+	}
+	return cond, nil
+}
+
+func (c *Config) validate() error {
+	if c.Machine == nil {
+		return fmt.Errorf("upc: Config.Machine is required")
+	}
+	if c.Threads <= 0 {
+		return fmt.Errorf("upc: Threads = %d", c.Threads)
+	}
+	if c.ThreadsPerNode <= 0 {
+		return fmt.Errorf("upc: ThreadsPerNode = %d", c.ThreadsPerNode)
+	}
+	return nil
+}
+
+// Runtime is the per-execution state shared by all UPC threads.
+type Runtime struct {
+	Cfg     Config
+	Eng     *sim.Engine
+	Cluster *fabric.Cluster
+
+	threads []*Thread
+	places  []topo.Place
+	eps     []*fabric.Endpoint // per thread (may alias per node under Pthreads)
+
+	nodesUsed int
+	barCost   sim.Duration
+	bar       *phaseBarrier
+	allocs    []*sharedShape
+	colls     []*collSlot
+	interned  map[string]any
+}
+
+// Intern returns the runtime-scoped singleton for key, creating it with mk
+// on first use. Extensions (thread groups, sub-thread pools) use it to
+// share state among the UPC threads of one run without global registries.
+// It must be called from simulation context.
+func (rt *Runtime) Intern(key string, mk func() any) any {
+	if rt.interned == nil {
+		rt.interned = make(map[string]any)
+	}
+	v, ok := rt.interned[key]
+	if !ok {
+		v = mk()
+		rt.interned[key] = v
+	}
+	return v
+}
+
+// Stats summarizes a completed SPMD run.
+type Stats struct {
+	// Elapsed is the virtual wall-clock of the whole run.
+	Elapsed sim.Duration
+	// Threads echoes the thread count.
+	Threads int
+}
+
+// Run executes main as an SPMD program over cfg.Threads UPC threads and
+// returns run statistics. It is the analogue of launching a compiled UPC
+// binary with upcrun.
+func Run(cfg Config, main func(t *Thread)) (Stats, error) {
+	rt, err := NewRuntime(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	rt.Start(main)
+	if err := rt.Eng.Run(); err != nil {
+		return Stats{}, err
+	}
+	return Stats{Elapsed: rt.Eng.Now(), Threads: cfg.Threads}, nil
+}
+
+// NewRuntime builds the runtime without launching threads, for callers
+// that need to co-schedule other simulated activity on the same engine.
+func NewRuntime(cfg Config) (*Runtime, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cond, err := cfg.conduit()
+	if err != nil {
+		return nil, err
+	}
+	places, err := cfg.Machine.Layout(cfg.Threads, cfg.ThreadsPerNode, cfg.Binding)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.New(cfg.Seed)
+	cl := fabric.NewCluster(eng, cfg.Machine, cond)
+
+	rt := &Runtime{
+		Cfg:     cfg,
+		Eng:     eng,
+		Cluster: cl,
+		places:  places,
+		eps:     make([]*fabric.Endpoint, cfg.Threads),
+	}
+	rt.nodesUsed = (cfg.Threads + cfg.ThreadsPerNode - 1) / cfg.ThreadsPerNode
+	rt.barCost = cl.BarrierCost(rt.nodesUsed)
+	rt.bar = newPhaseBarrier(cfg.Threads)
+
+	// Endpoints: one per thread under Processes; one per node, shared by
+	// that node's threads, under Pthreads.
+	if cfg.Backend == Pthreads {
+		perNode := make([]*fabric.Endpoint, rt.nodesUsed)
+		for i := range rt.eps {
+			n := places[i].Node
+			if perNode[n] == nil {
+				perNode[n] = cl.NewEndpoint(n)
+				perNode[n].MarkShared()
+			}
+			rt.eps[i] = perNode[n]
+		}
+	} else {
+		for i := range rt.eps {
+			rt.eps[i] = cl.NewEndpoint(places[i].Node)
+		}
+	}
+
+	rt.threads = make([]*Thread, cfg.Threads)
+	for i := 0; i < cfg.Threads; i++ {
+		rt.threads[i] = &Thread{
+			rt:    rt,
+			ID:    i,
+			N:     cfg.Threads,
+			Place: places[i],
+			ep:    rt.eps[i],
+		}
+	}
+	return rt, nil
+}
+
+// Start launches every UPC thread on the engine; the caller must then run
+// the engine (Run does both).
+func (rt *Runtime) Start(main func(t *Thread)) {
+	for _, t := range rt.threads {
+		t := t
+		rt.Eng.Go(fmt.Sprintf("upc%d", t.ID), func(p *sim.Proc) {
+			t.P = p
+			main(t)
+		})
+	}
+}
+
+// Thread reports thread i's context (valid after NewRuntime).
+func (rt *Runtime) Thread(i int) *Thread { return rt.threads[i] }
+
+// NodesUsed reports how many cluster nodes the layout spans.
+func (rt *Runtime) NodesUsed() int { return rt.nodesUsed }
+
+// PlaceOf reports the hardware placement of thread i.
+func (rt *Runtime) PlaceOf(i int) topo.Place { return rt.places[i] }

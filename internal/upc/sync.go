@@ -1,0 +1,125 @@
+package upc
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// phaseBarrier implements both upc_barrier and the split-phase
+// upc_notify/upc_wait pair: each generation is a sim.Event that fires the
+// dissemination cost after the last notify.
+type phaseBarrier struct {
+	n        int
+	notified int
+	ev       *sim.Event
+}
+
+func newPhaseBarrier(n int) *phaseBarrier {
+	return &phaseBarrier{n: n, ev: &sim.Event{}}
+}
+
+// notify registers one arrival and returns the generation's release event.
+// The last arrival books the release and opens the next generation.
+func (b *phaseBarrier) notify(rt *Runtime) *sim.Event {
+	ev := b.ev
+	b.notified++
+	if b.notified == b.n {
+		b.notified = 0
+		b.ev = &sim.Event{}
+		rt.Eng.After(rt.barCost, ev.Fire)
+	}
+	return ev
+}
+
+// Lock is a UPC global lock (upc_lock_t). It has a home thread; acquiring
+// it from another node pays a control round trip to the home, contended
+// acquisitions queue FIFO at the home, and the grant pays the return
+// latency.
+type Lock struct {
+	rt   *Runtime
+	home int
+	held bool
+	q    sim.WaitQueue
+}
+
+// AllocLock collectively creates a lock homed on the given thread
+// (upc_all_lock_alloc with explicit affinity).
+func AllocLock(t *Thread, home int) *Lock {
+	if home < 0 || home >= t.N {
+		panic(fmt.Sprintf("upc: AllocLock home %d of %d threads", home, t.N))
+	}
+	t.Barrier()
+	rec := t.rt.allocRecord(t.allocSeq, 1, 1, home+1, func() any {
+		return &Lock{rt: t.rt, home: home}
+	})
+	t.allocSeq++
+	l, ok := rec.(*Lock)
+	if !ok {
+		panic("upc: collective Alloc type mismatch (expected Lock)")
+	}
+	t.Barrier()
+	return l
+}
+
+// Home reports the lock's home thread.
+func (l *Lock) Home() int { return l.home }
+
+// controlCost charges the one-way control-message cost between t and the
+// lock's home.
+func (l *Lock) controlCost(t *Thread) {
+	homePlace := l.rt.places[l.home]
+	cond := &l.rt.Cluster.Conduit
+	if t.ID == l.home {
+		t.P.Advance(100 * sim.Nanosecond)
+	} else if topo.SameNode(t.Place, homePlace) && l.rt.Cfg.sharedMem() {
+		t.P.Advance(200 * sim.Nanosecond) // cache-line ping within the node
+	} else {
+		t.P.Advance(cond.SendOverhead + cond.MsgGap + cond.Latency)
+	}
+}
+
+// Lock acquires the lock (upc_lock), blocking while it is held.
+func (l *Lock) Lock(t *Thread) {
+	l.controlCost(t) // request travels to the home
+	for l.held {
+		l.q.Wait(t.P, "upc-lock")
+	}
+	l.held = true
+	l.controlCost(t) // grant travels back
+}
+
+// TryLock attempts acquisition without blocking (upc_lock_attempt),
+// reporting success. The probe pays the control round trip either way.
+func (l *Lock) TryLock(t *Thread) bool {
+	l.controlCost(t)
+	if l.held {
+		l.controlCost(t)
+		return false
+	}
+	l.held = true
+	l.controlCost(t)
+	return true
+}
+
+// Unlock releases the lock (upc_unlock). The release takes effect at the
+// home after the one-way control cost; the releaser does not wait for it.
+func (l *Lock) Unlock(t *Thread) {
+	homePlace := l.rt.places[l.home]
+	cond := &l.rt.Cluster.Conduit
+	var oneWay sim.Duration
+	switch {
+	case t.ID == l.home:
+		oneWay = 100 * sim.Nanosecond
+	case topo.SameNode(t.Place, homePlace) && l.rt.Cfg.sharedMem():
+		oneWay = 200 * sim.Nanosecond
+	default:
+		oneWay = cond.SendOverhead + cond.MsgGap + cond.Latency
+	}
+	t.P.Advance(cond.SendOverhead / 2) // local injection cost
+	l.rt.Eng.After(oneWay, func() {
+		l.held = false
+		l.q.WakeOne()
+	})
+}
