@@ -10,14 +10,17 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/tracecli"
 )
 
 func main() {
 	quick := flag.Bool("quick", true,
 		"smaller trees and no SMT sweep points (pass -quick=false for the full paper-scale run)")
 	flag.Parse()
+	tracecli.Start()
 	if err := experiments.All(os.Stdout, *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "upc-experiments:", err)
 		os.Exit(1)
 	}
+	tracecli.Finish()
 }

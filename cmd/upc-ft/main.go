@@ -10,12 +10,14 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/tracecli"
 )
 
 func main() {
 	figure := flag.String("figure", "all", "3.4a, 3.4b, 4.4, 4.5, 4.6, or all")
 	quick := flag.Bool("quick", false, "skip the most expensive (SMT) sweep points")
 	flag.Parse()
+	tracecli.Start()
 	run := func(name string) error {
 		switch name {
 		case "3.4a":
@@ -46,4 +48,5 @@ func main() {
 		fmt.Fprintln(os.Stderr, "upc-ft:", err)
 		os.Exit(1)
 	}
+	tracecli.Finish()
 }

@@ -9,12 +9,14 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/tracecli"
 )
 
 func main() {
 	figure := flag.String("figure", "all", "4.2a (latency), 4.2b (bandwidth), or all")
 	quick := flag.Bool("quick", false, "halve the size grid")
 	flag.Parse()
+	tracecli.Start()
 	var err error
 	switch *figure {
 	case "4.2a":
@@ -33,4 +35,5 @@ func main() {
 		fmt.Fprintln(os.Stderr, "upc-netbench:", err)
 		os.Exit(1)
 	}
+	tracecli.Finish()
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/apps/ra"
 	"repro/internal/report"
 	"repro/internal/topo"
+	"repro/internal/tracecli"
 )
 
 func main() {
@@ -23,6 +24,7 @@ func main() {
 	machine := flag.String("machine", "pyramid", "machine model (lehman, pyramid)")
 	conduit := flag.String("conduit", "", "conduit override (ibv-qdr, ibv-ddr, gige)")
 	flag.Parse()
+	tracecli.Start()
 
 	m, ok := topo.ByName(*machine)
 	if !ok {
@@ -51,4 +53,5 @@ func main() {
 	report.Table(os.Stdout,
 		fmt.Sprintf("RandomAccess ablation: %d threads on %s (verified)", *threads, m.Name),
 		[]string{"variant", "GUPS", "messages", "time"}, rows)
+	tracecli.Finish()
 }

@@ -9,11 +9,13 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/tracecli"
 )
 
 func main() {
 	table := flag.String("table", "all", "which table to regenerate: 3.1, 4.1, or all")
 	flag.Parse()
+	tracecli.Start()
 	var err error
 	switch *table {
 	case "3.1":
@@ -32,4 +34,5 @@ func main() {
 		fmt.Fprintln(os.Stderr, "upc-stream:", err)
 		os.Exit(1)
 	}
+	tracecli.Finish()
 }

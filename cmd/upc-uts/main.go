@@ -9,6 +9,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/tracecli"
 )
 
 func main() {
@@ -16,6 +17,7 @@ func main() {
 	table := flag.String("table", "", "regenerate table 3.2")
 	quick := flag.Bool("quick", false, "use a ~400K-node tree instead of the paper's 4.35M")
 	flag.Parse()
+	tracecli.Start()
 	var err error
 	switch {
 	case *figure == "3.3":
@@ -33,4 +35,5 @@ func main() {
 		fmt.Fprintln(os.Stderr, "upc-uts:", err)
 		os.Exit(1)
 	}
+	tracecli.Finish()
 }

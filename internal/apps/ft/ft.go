@@ -7,6 +7,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/subthread"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // Variant selects the execution model under test.
@@ -97,6 +98,9 @@ type Config struct {
 	SubThreads  int // hybrid: sub-threads per master (others: ignored)
 	Verify      bool
 	Seed        int64
+	// Tracer, when non-nil, receives the run's trace events; the measured
+	// iterations emit "ft" phase spans matching the Phases breakdown.
+	Tracer trace.Tracer
 
 	// Exchange-model knobs for the Figure 3.4 study. PSHM is on by
 	// default (as in the paper's runs); NoPSHM selects the base runtime

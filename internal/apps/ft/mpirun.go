@@ -22,7 +22,8 @@ type mpiWorker struct {
 	LY  int
 	B   int
 
-	phases *perf.Phases
+	phases   *perf.Phases
+	measured bool // inside the timed region (phase spans are emitted)
 
 	a     []complex128
 	d     []complex128
@@ -43,6 +44,7 @@ func runMPI(cfg Config) (Result, error) {
 		RanksPerNode: cfg.PerNode,
 		Binding:      topo.BindSocketRR,
 		Seed:         cfg.Seed,
+		Tracer:       cfg.Tracer,
 	}
 	res := Result{Phases: map[string]sim.Duration{}}
 	var start, stop sim.Time
@@ -75,16 +77,17 @@ func runMPI(cfg Config) (Result, error) {
 		}
 		w.forward()
 		c.Barrier()
-		w.phases = perf.NewPhases()
+		w.phases = perf.NewPhases() // discard setup-phase charges
+		w.measured = true
 		if c.Rank == 0 {
 			start = c.P.Now()
 		}
 		for iter := 0; iter < w.cls.Iters; iter++ {
 			w.evolve()
 			w.forward()
-			w.phases.Timer("checksum").Start(c.P.Now())
-			c.AllreduceSum(float64(c.Rank))
-			w.phases.Timer("checksum").Stop(c.P.Now())
+			w.timed("checksum", func() {
+				c.AllreduceSum(float64(c.Rank))
+			})
 		}
 		c.Barrier()
 		if c.Rank == 0 {
@@ -107,10 +110,15 @@ func runMPI(cfg Config) (Result, error) {
 }
 
 func (w *mpiWorker) timed(phase string, fn func()) {
+	end := noopSpan
+	if w.measured {
+		end = w.c.P.TraceSpan("ft", phase)
+	}
 	tm := w.phases.Timer(phase)
 	tm.Start(w.c.P.Now())
 	fn()
 	tm.Stop(w.c.P.Now())
+	end()
 }
 
 func (w *mpiWorker) mergePhases(res *Result) {

@@ -1,0 +1,70 @@
+package ft
+
+import (
+	"testing"
+
+	"repro/internal/perf"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// TestTracePhasesMatchFigure44 verifies the acceptance property of the
+// tracing layer on FT: the per-phase spans aggregated from the trace
+// reproduce the Figure 4.4 breakdown the run itself reports (maximum
+// per-thread total of each phase).
+func TestTracePhasesMatchFigure44(t *testing.T) {
+	cls, _ := ClassByName("A")
+	for _, variant := range []Variant{UPCProcesses, MPIFortran} {
+		col := trace.NewCollector()
+		r, err := Run(Config{
+			Machine: topo.Lehman(), Class: cls, Variant: variant,
+			Threads: 4, PerNode: 2, Seed: 5, Tracer: col,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", variant, err)
+		}
+		got := perf.PhasesFromTrace(col, "ft")
+		if len(got) == 0 {
+			t.Fatalf("%v: no ft phase spans in the trace", variant)
+		}
+		for phase, want := range r.Phases {
+			if got[phase] != want {
+				t.Errorf("%v: trace phase %s = %v, Phases reports %v", variant, phase, got[phase], want)
+			}
+		}
+		for phase := range got {
+			if _, ok := r.Phases[phase]; !ok {
+				t.Errorf("%v: trace has phase %s the result does not", variant, phase)
+			}
+		}
+		if r.Phases["comm-call"] <= 0 || got["comm-call"] <= 0 {
+			t.Errorf("%v: comm-call phase empty (result %v, trace %v)",
+				variant, r.Phases["comm-call"], got["comm-call"])
+		}
+	}
+}
+
+// TestTraceOverlapPhasesMatch checks the overlapped implementation, whose
+// fft2d and comm-call timers cover interleaved intervals: the live spans
+// must still reproduce the reported totals.
+func TestTraceOverlapPhasesMatch(t *testing.T) {
+	cls, _ := ClassByName("A")
+	col := trace.NewCollector()
+	r, err := Run(Config{
+		Machine: topo.Lehman(), Class: cls, Variant: UPCProcesses, Impl: Overlap,
+		Threads: 4, PerNode: 2, Seed: 5, Tracer: col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := perf.PhasesFromTrace(col, "ft")
+	for _, phase := range []string{"fft2d", "comm-call", "comm-wait"} {
+		if got[phase] != r.Phases[phase] {
+			t.Errorf("trace phase %s = %v, Phases reports %v", phase, got[phase], r.Phases[phase])
+		}
+		if r.Phases[phase] <= sim.Duration(0) {
+			t.Errorf("phase %s reported as empty", phase)
+		}
+	}
+}

@@ -22,8 +22,9 @@ type upcWorker struct {
 	LY  int // y-rows per thread (transposed layout)
 	B   int // exchange block: LZ*LY*NX elements
 
-	team   *subthread.Team
-	phases *perf.Phases
+	team     *subthread.Team
+	phases   *perf.Phases
+	measured bool // inside the timed region (phase spans are emitted)
 
 	// Verify-mode data (nil in model mode).
 	a     []complex128 // z-slab: a[(zl*NY+y)*NX+x]
@@ -51,6 +52,7 @@ func runUPC(cfg Config) (Result, error) {
 		PSHM:           !cfg.NoPSHM,
 		Binding:        topo.BindSocketRR,
 		Seed:           cfg.Seed,
+		Tracer:         cfg.Tracer,
 	}
 
 	res := Result{Phases: map[string]sim.Duration{}}
@@ -85,6 +87,7 @@ func runUPC(cfg Config) (Result, error) {
 		w.forward()
 		t.Barrier()
 		w.phases = perf.NewPhases() // discard setup-phase charges
+		w.measured = true
 		if t.ID == 0 {
 			start = t.Now()
 		}
@@ -126,6 +129,9 @@ func newUPCWorker(cfg *Config, t *upc.Thread) (*upcWorker, error) {
 		LZ:     cls.NZ / t.N,
 		LY:     cls.NY / t.N,
 		phases: perf.NewPhases(),
+		// Verify mode times everything; model mode opens the measured
+		// region after the untimed setup transform.
+		measured: cfg.Verify,
 	}
 	w.B = w.LZ * w.LY * cls.NX
 	if cfg.Variant.Hybrid() {
@@ -220,12 +226,28 @@ func (w *upcWorker) compute(n int, perItem float64, body func(i int)) {
 	w.t.Compute(float64(n) * perItem)
 }
 
-// timed runs fn between a named phase timer.
+// timed runs fn between a named phase timer, tracing it as an "ft" span
+// inside the measured region so a trace.Collector aggregates the same
+// per-phase breakdown the Phases report.
 func (w *upcWorker) timed(phase string, fn func()) {
+	end := w.traceSpan(phase)
 	tm := w.phases.Timer(phase)
 	tm.Start(w.t.Now())
 	fn()
 	tm.Stop(w.t.Now())
+	end()
+}
+
+// noopSpan is the shared closer of phases outside the measured region.
+var noopSpan = func() {}
+
+// traceSpan opens an "ft" phase span on this thread's track, gated to the
+// measured region (so trace aggregates match the reported Phases).
+func (w *upcWorker) traceSpan(phase string) func() {
+	if !w.measured {
+		return noopSpan
+	}
+	return w.t.P.TraceSpan("ft", phase)
 }
 
 // evolve multiplies the slab by the time-evolution factors.
@@ -355,6 +377,7 @@ func (w *upcWorker) forwardOverlap() {
 	commCall := w.phases.Timer("comm-call")
 	fft2d := w.phases.Timer("fft2d")
 	start := w.t.Now()
+	endFFT := w.traceSpan("fft2d")
 
 	body := w.planeFFT(false)
 	planeWork := func(ctx *upc.Thread, zl int) {
@@ -389,13 +412,16 @@ func (w *upcWorker) forwardOverlap() {
 			w.t.Compute(perPlane)
 			w.t.Compute(perPlaneTr)
 			c0 := w.t.Now()
+			endCall := w.traceSpan("comm-call")
 			planeWork(w.t, zl)
 			commCall.Start(c0)
 			commCall.Stop(w.t.Now())
+			endCall()
 		}
 	}
 	fft2d.Start(start)
 	fft2d.Stop(w.t.Now())
+	endFFT()
 
 	w.timed("comm-wait", func() {
 		w.t.WaitAll(handles)

@@ -1,0 +1,71 @@
+package uts
+
+import (
+	"testing"
+
+	"repro/internal/perf"
+	"repro/internal/trace"
+)
+
+func tracedConfig(tr trace.Tracer) Config {
+	return Config{
+		Threads:  8,
+		PerNode:  2,
+		Strategy: LocalRapid,
+		Tree:     Small(20000),
+		Seed:     3,
+		Tracer:   tr,
+	}
+}
+
+// TestTraceCountersMatch verifies that the trace-fed counters reproduce
+// the app's ad-hoc ones exactly — the property that lets Table 3.2 read
+// its steal percentages from a Collector.
+func TestTraceCountersMatch(t *testing.T) {
+	col := trace.NewCollector()
+	r, err := Run(tracedConfig(col))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := perf.CountersFromTrace(col)
+	for name, want := range r.Counters {
+		if got.Get(name) != want {
+			t.Errorf("trace counter %s = %d, app counter = %d", name, got.Get(name), want)
+		}
+	}
+	for name := range got {
+		if _, ok := r.Counters[name]; !ok {
+			t.Errorf("trace has counter %s the app does not", name)
+		}
+	}
+	if got.Get("steals") == 0 {
+		t.Error("no steals recorded; the scenario is too small to exercise stealing")
+	}
+	// The steal instants split by locality must sum to the steal counter.
+	local := col.Count("uts", "steal") // all steal instants
+	if local != got.Get("steals") {
+		t.Errorf("steal instants = %d, steals counter = %d", local, got.Get("steals"))
+	}
+}
+
+// TestTraceDigestDeterministic asserts the CI-gated property: two
+// same-seed runs produce identical TraceDigests.
+func TestTraceDigestDeterministic(t *testing.T) {
+	run := func(seed int64) (uint64, int64) {
+		d := trace.NewDigest()
+		cfg := tracedConfig(d)
+		cfg.Seed = seed
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		return d.Sum64(), d.Events()
+	}
+	h1, n1 := run(3)
+	h2, n2 := run(3)
+	if h1 != h2 || n1 != n2 {
+		t.Fatalf("same-seed runs diverged: %016x (%d events) vs %016x (%d events)", h1, n1, h2, n2)
+	}
+	if n1 == 0 {
+		t.Fatal("no events traced")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/perf"
 	"repro/internal/sim"
 	"repro/internal/topo"
+	"repro/internal/trace"
 	"repro/internal/upc"
 )
 
@@ -53,6 +54,10 @@ type Config struct {
 	NodeCost    float64
 	Tree        TreeSpec
 	Seed        int64
+	// Tracer, when non-nil, receives the run's trace events; the traversal
+	// counters are emitted as "uts" trace counters, so a trace.Collector
+	// sees exactly the totals Result.Counters reports.
+	Tracer trace.Tracer
 }
 
 // defaultNodeCost is the modeled per-node processing time (seconds),
@@ -132,6 +137,7 @@ func Run(cfg Config) (Result, error) {
 		Backend:        upc.Processes, // paper: process-based with PSHM
 		PSHM:           true,
 		Seed:           cfg.Seed,
+		Tracer:         cfg.Tracer,
 	}
 
 	g := &global{counters: perf.Counters{}}
@@ -260,14 +266,14 @@ func (w *worker) run() {
 		}
 		t0 := w.t.Now()
 		ok := w.stealSweep()
-		w.c.Add("ns_sweep", int64(w.t.Now()-t0))
+		w.bump("ns_sweep", int64(w.t.Now()-t0))
 		if ok {
 			w.failures = 0
 			continue
 		}
 		t0 = w.t.Now()
 		done := w.enterIdle()
-		w.c.Add("ns_idle", int64(w.t.Now()-t0))
+		w.bump("ns_idle", int64(w.t.Now()-t0))
 		if done {
 			return
 		}
@@ -281,6 +287,13 @@ func (w *worker) run() {
 }
 
 func (w *worker) depth() int { return len(w.local) - w.head }
+
+// bump advances a traversal counter, mirroring it into the trace stream
+// so trace-fed consumers (Table 3.2) see the same totals.
+func (w *worker) bump(name string, n int64) {
+	w.c.Add(name, n)
+	w.t.P.TraceCounter("uts", name, n)
+}
 
 // processBatch pops and expands up to Batch nodes, charging one compute
 // interval for the whole batch (the real SHA-1 work runs regardless).
@@ -299,7 +312,7 @@ func (w *worker) processBatch() {
 			w.local = append(w.local, Child(n, i))
 		}
 	}
-	w.c.Add("nodes", int64(done))
+	w.bump("nodes", int64(done))
 	w.t.Compute(float64(done) * w.cfg.NodeCost)
 }
 
@@ -331,7 +344,7 @@ func (w *worker) maybeRelease() {
 		upc.WriteElem(w.t, w.cnt, w.t.ID, m)
 		w.locks[w.t.ID].Unlock(w.t)
 		w.g.sharedTotal += int64(chunk)
-		w.c.Add("releases", 1)
+		w.bump("releases", 1)
 		w.g.q.WakeAll() // idle thieves may find work now
 		w.compact()
 	}
@@ -399,21 +412,21 @@ func (w *worker) stealSweep() bool {
 // tryVictim probes one victim and steals on success.
 func (w *worker) tryVictim(v int) bool {
 	{
-		w.c.Add("probes", 1)
+		w.bump("probes", 1)
 		if upc.ReadElem(w.t, w.cnt, v).Avail == 0 {
-			w.c.Add("probes_failed", 1)
+			w.bump("probes_failed", 1)
 			return false
 		}
 		// upc_lock_attempt: never queue on a contended victim — another
 		// thief is already draining it; move to the next one.
 		if !w.locks[v].TryLock(w.t) {
-			w.c.Add("probes_contended", 1)
+			w.bump("probes_contended", 1)
 			return false
 		}
 		m := upc.ReadElem(w.t, w.cnt, v)
 		if m.Avail == 0 {
 			w.locks[v].Unlock(w.t)
-			w.c.Add("probes_failed", 1)
+			w.bump("probes_failed", 1)
 			return false
 		}
 		k := int64(w.cfg.Granularity)
@@ -432,11 +445,14 @@ func (w *worker) tryVictim(v int) bool {
 		upc.WriteElem(w.t, w.cnt, v, m)
 		w.locks[v].Unlock(w.t)
 		w.g.sharedTotal -= k
-		w.c.Add("steals", 1)
-		w.c.Add("stolen_nodes", k)
+		w.bump("steals", 1)
+		w.bump("stolen_nodes", k)
+		loc := "remote"
 		if w.t.Distance(v) != topo.LevelRemote {
-			w.c.Add("steals_local", 1)
+			w.bump("steals_local", 1)
+			loc = "local"
 		}
+		w.t.P.TraceInstant("uts", "steal", loc, k, int64(v))
 		w.local = append(w.local, got...)
 		return true
 	}

@@ -14,8 +14,10 @@ import (
 	"repro/internal/apps/netbench"
 	"repro/internal/apps/stream"
 	"repro/internal/apps/uts"
+	"repro/internal/perf"
 	"repro/internal/report"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 const seed = 1
@@ -86,6 +88,25 @@ func utsConfig(conduit string, procs int, strat uts.Strategy, quick bool) uts.Co
 	}
 }
 
+// tracedUTS runs one UTS configuration with a Collector attached and
+// returns both the result and the aggregated trace.
+func tracedUTS(cfg uts.Config) (uts.Result, *trace.Collector, error) {
+	col := trace.NewCollector()
+	cfg.Tracer = col
+	r, err := uts.Run(cfg)
+	return r, col, err
+}
+
+// localStealPct computes Table 3.2's local-steal percentage from the
+// trace-fed counters (equal to Result.LocalStealPct by construction).
+func localStealPct(c *trace.Collector) float64 {
+	counters := perf.CountersFromTrace(c)
+	if s := counters.Get("steals"); s > 0 {
+		return 100 * float64(counters.Get("steals_local")) / float64(s)
+	}
+	return 0
+}
+
 // Figure33 regenerates Figure 3.3 (UTS parallel scalability on 16 nodes,
 // InfiniBand and Ethernet panels).
 func Figure33(w io.Writer, quick bool) error {
@@ -126,11 +147,14 @@ func Table32(w io.Writer, quick bool) error {
 	}
 	rows := make([][]string, 0, len(shapes))
 	for i, sh := range shapes {
-		base, err := uts.Run(utsConfig(sh.net, sh.procs, uts.BaselineRR, quick))
+		// The steal percentages come from the trace stream, not the app's
+		// ad-hoc counters: each run feeds a Collector and the table reads
+		// the aggregated "uts" counters back out of it.
+		base, baseCol, err := tracedUTS(utsConfig(sh.net, sh.procs, uts.BaselineRR, quick))
 		if err != nil {
 			return err
 		}
-		opt, err := uts.Run(utsConfig(sh.net, sh.procs, uts.LocalRapid, quick))
+		opt, optCol, err := tracedUTS(utsConfig(sh.net, sh.procs, uts.LocalRapid, quick))
 		if err != nil {
 			return err
 		}
@@ -138,8 +162,8 @@ func Table32(w io.Writer, quick bool) error {
 		rows = append(rows, []string{
 			fmt.Sprintf("%s %d/%d", sh.net, sh.procs, sh.procs/16),
 			fmt.Sprintf("%.1f%%", improve),
-			fmt.Sprintf("%.1f", base.LocalStealPct()),
-			fmt.Sprintf("%.1f", opt.LocalStealPct()),
+			fmt.Sprintf("%.1f", localStealPct(baseCol)),
+			fmt.Sprintf("%.1f", localStealPct(optCol)),
 			paper[i][0], paper[i][1], paper[i][2],
 		})
 	}

@@ -103,6 +103,9 @@ func (c *Cluster) MemCopy(p *sim.Proc, from, to topo.Place, size int64, overhead
 	if size <= 0 {
 		return
 	}
+	if c.Eng.Tracing() {
+		p.TraceInstant("fabric", "memcopy", socketAux(from, to), size, 0)
+	}
 	if from.Socket == to.Socket {
 		// A same-socket copy reads and writes through one controller:
 		// 2x the payload crosses the link.
@@ -127,6 +130,9 @@ func (c *Cluster) MemCopyAsync(p *sim.Proc, from, to topo.Place, size int64, ove
 	if overhead > 0 {
 		p.Advance(overhead)
 	}
+	if c.Eng.Tracing() {
+		p.TraceInstant("fabric", "memcopy", socketAux(from, to), size, 0)
+	}
 	op := &NetOp{}
 	var flow *FlowOp
 	if from.Socket == to.Socket {
@@ -145,6 +151,14 @@ func (c *Cluster) MemCopyAsync(p *sim.Proc, from, to topo.Place, size int64, ove
 		op.Remote.Fire()
 	})
 	return op
+}
+
+// socketAux labels a copy's socket relation for the trace.
+func socketAux(from, to topo.Place) string {
+	if from.Socket == to.Socket {
+		return "same-socket"
+	}
+	return "cross-socket"
 }
 
 // MemTouch charges streaming access of size bytes at a place whose backing
@@ -264,6 +278,9 @@ func (ep *Endpoint) PutAsync(p *sim.Proc, dst *Endpoint, size int64, apply func(
 		p.Advance(cond.SendOverhead)
 	}
 	ep.gapTx.Delay(p, ep.txOccupancy(size))
+	if ep.c.Eng.Tracing() {
+		p.TraceInstant("fabric", "put", cond.Name, size, int64(ep.conn.Active()))
+	}
 
 	var flow *FlowOp
 	var lat sim.Duration
@@ -287,6 +304,7 @@ func (ep *Endpoint) PutAsync(p *sim.Proc, dst *Endpoint, size int64, apply func(
 				if apply != nil {
 					apply()
 				}
+				eng.TraceInstant("fabric", "deliver", cond.Name, size, 0)
 				op.Remote.Fire()
 			})
 		})
@@ -314,6 +332,9 @@ func (ep *Endpoint) GetAsync(p *sim.Proc, src *Endpoint, size int64, apply func(
 		p.Advance(cond.SendOverhead)
 	}
 	ep.gapTx.Delay(p, ep.txOccupancy(size))
+	if ep.c.Eng.Tracing() {
+		p.TraceInstant("fabric", "get", cond.Name, size, int64(src.conn.Active()))
+	}
 
 	eng := ep.c.Eng
 	sameNode := src.node == ep.node
@@ -344,6 +365,7 @@ func (ep *Endpoint) GetAsync(p *sim.Proc, src *Endpoint, size int64, apply func(
 						if apply != nil {
 							apply()
 						}
+						eng.TraceInstant("fabric", "deliver", cond.Name, size, 0)
 						op.Local.Fire() // a get has a single completion
 						op.Remote.Fire()
 					})

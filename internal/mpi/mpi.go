@@ -13,6 +13,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/sim"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // EagerThreshold is the message size at or below which sends complete
@@ -31,6 +32,9 @@ type Config struct {
 	RanksPerNode int
 	Binding      topo.Binding
 	Seed         int64
+	// Tracer, when non-nil, receives the run's trace events in addition to
+	// any process-default tracer (see internal/trace).
+	Tracer trace.Tracer
 }
 
 // World is the per-execution state shared by all ranks.
@@ -129,6 +133,11 @@ func NewWorld(cfg Config) (*World, error) {
 		return nil, err
 	}
 	eng := sim.New(cfg.Seed)
+	if cfg.Tracer != nil {
+		cfg.Tracer.Emit(trace.Event{Kind: trace.KRunBegin, Proc: trace.EngineProc,
+			Cat: "sim", Name: "run", Arg: cfg.Seed})
+		eng.SetTracer(trace.Tee(eng.Tracer(), cfg.Tracer))
+	}
 	cl := fabric.NewCluster(eng, cfg.Machine, cond)
 	w := &World{
 		Cfg:     cfg,

@@ -6,8 +6,10 @@ package perf
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Timer accumulates virtual time across start/stop intervals.
@@ -101,6 +103,35 @@ func (c Counters) String() string {
 		s += fmt.Sprintf("%s=%d", k, c[k])
 	}
 	return s
+}
+
+// CountersFromTrace rebuilds a Counters set from a trace Collector: the
+// totals of every KCounter stream it aggregated. An app that mirrors its
+// counters into the trace (e.g. UTS via TraceCounter) yields a set equal
+// to its ad-hoc Counters — letting experiment tables be fed from the
+// trace alone.
+func CountersFromTrace(c *trace.Collector) Counters {
+	out := Counters{}
+	for k, v := range c.CounterTotals() {
+		out[k] = v
+	}
+	return out
+}
+
+// PhasesFromTrace reports, for every span key under the given category,
+// the largest per-process duration total — the cross-thread maximum a
+// phase breakdown reports. Keys are span names with the category prefix
+// stripped.
+func PhasesFromTrace(c *trace.Collector, cat string) map[string]sim.Duration {
+	out := map[string]sim.Duration{}
+	prefix := cat + "/"
+	for _, k := range c.SpanKeys() {
+		if strings.HasPrefix(k, prefix) {
+			s := c.Span(cat, k[len(prefix):])
+			out[k[len(prefix):]] = sim.Duration(s.MaxByProc())
+		}
+	}
+	return out
 }
 
 // Median reports the median of a sample set (NaN-free inputs assumed; the

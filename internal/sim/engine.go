@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"runtime/debug"
 	"sort"
+
+	"repro/internal/trace"
 )
 
 // Engine is a sequential discrete-event simulator. Create one with New,
@@ -25,7 +27,8 @@ type Engine struct {
 	inRun   bool
 	nextID  int
 
-	rng *rand.Rand
+	rng    *rand.Rand
+	tracer trace.Tracer
 
 	panicVal   any
 	panicProc  string
@@ -35,10 +38,15 @@ type Engine struct {
 // New returns an engine whose internal randomness (used by model code via
 // Rand) is seeded with seed, making whole simulations reproducible.
 func New(seed int64) *Engine {
-	return &Engine{
+	e := &Engine{
 		parked: make(chan struct{}),
 		rng:    rand.New(rand.NewSource(seed)),
+		tracer: trace.Default(),
 	}
+	if e.tracer != nil {
+		e.emit(trace.KRunBegin, trace.EngineProc, "sim", "run", "", seed, 0)
+	}
+	return e
 }
 
 // Now reports the current virtual time.
@@ -66,6 +74,9 @@ func (e *Engine) Go(name string, fn func(*Proc)) *Proc {
 	e.nextID++
 	e.procs = append(e.procs, p)
 	e.nLive++
+	if e.tracer != nil {
+		e.emit(trace.KProcSpawn, int32(p.id), "sim", name, "", 0, 0)
+	}
 	e.schedule(e.now, p, nil)
 	return p
 }
@@ -106,7 +117,12 @@ func (e *Engine) Run() error {
 		if ev.at < e.now {
 			panic(fmt.Sprintf("sim: time ran backwards: %v -> %v", e.now, ev.at))
 		}
-		e.now = ev.at
+		if ev.at != e.now {
+			e.now = ev.at
+			if e.tracer != nil {
+				e.emit(trace.KClock, trace.EngineProc, "sim", "clock", "", int64(e.now), 0)
+			}
+		}
 		if ev.fn != nil {
 			ev.fn()
 			continue
@@ -120,6 +136,9 @@ func (e *Engine) Run() error {
 			p.started = true
 			go p.top()
 		} else {
+			if e.tracer != nil {
+				e.emit(trace.KProcUnpark, int32(p.id), "sim", p.name, p.blocked, 0, 0)
+			}
 			p.resume <- struct{}{}
 		}
 		<-e.parked
@@ -198,6 +217,9 @@ func (p *Proc) top() {
 			p.eng.panicStack = debug.Stack()
 		}
 		p.finished = true
+		if e := p.eng; e.tracer != nil {
+			e.emit(trace.KProcExit, int32(p.id), "sim", p.name, "", 0, 0)
+		}
 		p.eng.nLive--
 		if p.daemon {
 			p.eng.nDaemon--
@@ -211,6 +233,9 @@ func (p *Proc) top() {
 // already have arranged a wake (a scheduled event or a WaitQueue entry).
 func (p *Proc) park(reason string) {
 	p.blocked = reason
+	if e := p.eng; e.tracer != nil {
+		e.emit(trace.KProcPark, int32(p.id), "sim", p.name, reason, 0, 0)
+	}
 	p.eng.parked <- struct{}{}
 	<-p.resume
 	p.blocked = ""

@@ -23,7 +23,9 @@ func (s *Server) Delay(p *Proc, d Duration) Time {
 	}
 	s.busyUntil = start + d
 	if s.busyUntil > p.Now() {
+		end := p.TraceSpanArg("sim", "server", "", int64(d))
 		p.Advance(s.busyUntil - p.Now())
+		end()
 	}
 	return s.busyUntil
 }

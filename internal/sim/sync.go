@@ -6,12 +6,20 @@ type Mutex struct {
 	q      WaitQueue
 }
 
-// Lock acquires the mutex, suspending p until it is available.
+// Lock acquires the mutex, suspending p until it is available. A
+// contended acquisition is traced as a "sim/mutex" span covering the
+// wait.
 func (m *Mutex) Lock(p *Proc) {
+	if m.holder == nil {
+		m.holder = p
+		return
+	}
+	end := p.TraceSpan("sim", "mutex")
 	for m.holder != nil {
 		m.q.Wait(p, "mutex")
 	}
 	m.holder = p
+	end()
 }
 
 // TryLock acquires the mutex if free, reporting success. It never blocks.
@@ -45,12 +53,19 @@ type Semaphore struct {
 // NewSemaphore returns a semaphore with an initial count.
 func NewSemaphore(count int) *Semaphore { return &Semaphore{count: count} }
 
-// Acquire takes one unit, suspending p until available.
+// Acquire takes one unit, suspending p until available. A contended
+// acquisition is traced as a "sim/semaphore" span covering the wait.
 func (s *Semaphore) Acquire(p *Proc) {
+	if s.count > 0 {
+		s.count--
+		return
+	}
+	end := p.TraceSpan("sim", "semaphore")
 	for s.count <= 0 {
 		s.q.Wait(p, "semaphore")
 	}
 	s.count--
+	end()
 }
 
 // Release returns one unit and wakes a waiter.

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// traceScenario runs a tiny two-proc simulation exercising spans,
+// instants, counters, parks and resource waits on engine e.
+func traceScenario(e *Engine) {
+	var mu Mutex
+	var srv Server
+	e.Go("worker0", func(p *Proc) {
+		end := p.TraceSpan("test", "phase")
+		mu.Lock(p)
+		p.Advance(10 * Microsecond)
+		mu.Unlock(p)
+		end()
+		p.TraceCounter("test", "items", 3)
+	})
+	e.Go("worker1", func(p *Proc) {
+		mu.Lock(p) // contends with worker0
+		srv.Delay(p, 5*Microsecond)
+		mu.Unlock(p)
+		p.TraceInstant("test", "done", "ok", 1, 2)
+	})
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+}
+
+func TestEngineLifecycleEvents(t *testing.T) {
+	col := trace.NewCollector()
+	e := New(42)
+	e.SetTracer(col)
+	traceScenario(e)
+
+	if got := col.Count("sim", "spawn"); got != 2 {
+		t.Errorf("spawn events = %d, want 2", got)
+	}
+	if got := col.Count("sim", "exit"); got != 2 {
+		t.Errorf("exit events = %d, want 2", got)
+	}
+	if col.Count("sim", "park") == 0 || col.Count("sim", "unpark") == 0 {
+		t.Error("no park/unpark events recorded")
+	}
+	if s := col.Span("test", "phase"); s.Count != 1 {
+		t.Errorf("test/phase span count = %d, want 1", s.Count)
+	}
+	// worker1's contended Lock produces a sim/mutex span covering the wait.
+	if s := col.Span("sim", "mutex"); s.Count != 1 || s.Total <= 0 {
+		t.Errorf("sim/mutex span = %+v, want one with positive duration", s)
+	}
+	if got := col.Counter("items"); got != 3 {
+		t.Errorf("items counter = %d, want 3", got)
+	}
+	if got := col.Count("test", "done"); got != 1 {
+		t.Errorf("test/done instants = %d, want 1", got)
+	}
+	if got := col.Sum("test", "done"); got != 1 {
+		t.Errorf("test/done Arg sum = %d, want 1", got)
+	}
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	run := func() uint64 {
+		d := trace.NewDigest()
+		e := New(7)
+		e.SetTracer(d)
+		traceScenario(e)
+		return d.Sum64()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same-seed runs diverged: %016x vs %016x", a, b)
+	}
+	// A different seed alone keeps this scenario's schedule identical (no
+	// Rand use), so perturb virtual time instead to prove sensitivity.
+	d := trace.NewDigest()
+	e := New(7)
+	e.SetTracer(d)
+	e.Go("extra", func(p *Proc) { p.Advance(1) })
+	traceScenario(e)
+	if d.Sum64() == a {
+		t.Fatal("a different schedule produced the same digest")
+	}
+}
+
+// TestNilTracerNoAlloc verifies the zero-cost fast path: with no tracer
+// installed, every hook must be allocation-free.
+func TestNilTracerNoAlloc(t *testing.T) {
+	e := New(1)
+	done := make(chan struct{})
+	e.Go("probe", func(p *Proc) {
+		allocs := testing.AllocsPerRun(100, func() {
+			end := p.TraceSpan("cat", "name")
+			end()
+			end = p.TraceSpanArg("cat", "name", "aux", 1)
+			end()
+			p.TraceInstant("cat", "name", "aux", 1, 2)
+			p.TraceCounter("cat", "name", 1)
+			e.TraceInstant("cat", "name", "aux", 1, 2)
+		})
+		if allocs != 0 {
+			t.Errorf("nil-tracer hooks allocated %.1f times per run, want 0", allocs)
+		}
+		close(done)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}
+
+// BenchmarkTracerNil measures the untraced hot path (nil-check only).
+func BenchmarkTracerNil(b *testing.B) {
+	benchTracer(b, nil)
+}
+
+// BenchmarkTracerCollector measures the same path with aggregation on.
+func BenchmarkTracerCollector(b *testing.B) {
+	benchTracer(b, trace.NewCollector())
+}
+
+// BenchmarkTracerDigest measures the same path with hashing on.
+func BenchmarkTracerDigest(b *testing.B) {
+	benchTracer(b, trace.NewDigest())
+}
+
+func benchTracer(b *testing.B, tr trace.Tracer) {
+	e := New(1)
+	if tr != nil {
+		e.SetTracer(tr)
+	}
+	e.Go("bench", func(p *Proc) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			end := p.TraceSpan("bench", "span")
+			p.TraceInstant("bench", "instant", "", int64(i), 0)
+			p.TraceCounter("bench", "counter", 1)
+			end()
+		}
+	})
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -247,6 +247,7 @@ func (tm *Team) Spawn(fn func(s *Sub)) {
 // idle (cilk_sync / end of omp taskgroup). The master participates in the
 // work (work-first execution).
 func (tm *Team) Sync() {
+	end := tm.T.P.TraceSpan("subthread", "sync")
 	master := &Sub{Team: tm, P: tm.T.P, Rank: 0, Place: tm.places[0]}
 	for {
 		if len(tm.tasks) > 0 {
@@ -254,6 +255,7 @@ func (tm *Team) Sync() {
 			continue
 		}
 		if tm.inFlight == 0 {
+			end()
 			return
 		}
 		tm.syncers.Wait(tm.T.P, "subthread-sync")
@@ -275,6 +277,8 @@ func (tm *Team) ParallelFor(n int, body func(s *Sub, i int)) {
 	tm.inPar = true
 	defer func() { tm.inPar = false }()
 
+	end := tm.T.P.TraceSpanArg("subthread", "parallel-for", tm.Cfg.Kind.String(), int64(n))
+	defer end()
 	tm.T.P.Advance(tm.Cfg.Kind.forkOverhead())
 	if tm.Cfg.Kind == OMP {
 		w := tm.Cfg.N
@@ -306,6 +310,7 @@ func (tm *Team) runOne(s *Sub) {
 	tm.tasks[len(tm.tasks)-1] = nil
 	tm.tasks = tm.tasks[:len(tm.tasks)-1]
 	tm.inFlight++
+	s.P.TraceInstant("subthread", "task", tm.Cfg.Kind.String(), int64(s.Rank), 0)
 	s.P.Advance(tm.Cfg.Kind.taskOverhead())
 	fn(s)
 	tm.inFlight--

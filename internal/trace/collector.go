@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Collector aggregates the event stream into counters, span statistics
+// and log2 duration histograms, keyed by "cat/name". It is the sink the
+// experiments and perf query mechanically: steal percentages, phase
+// breakdowns, message counts — derived from the trace rather than from
+// ad-hoc counting in the apps.
+type Collector struct {
+	counts   map[string]int64 // instant/lifecycle occurrences by cat/name
+	sums     map[string]int64 // sum of Arg over instants by cat/name
+	counters map[string]int64 // KCounter totals by bare counter name
+	spans    map[string]*SpanStat
+	open     map[int32][]openSpan
+	events   int64
+}
+
+type openSpan struct {
+	key   string
+	start int64
+}
+
+// SpanStat aggregates the closed spans of one cat/name key.
+type SpanStat struct {
+	Count int64
+	Total int64 // summed duration, ns
+	Min   int64
+	Max   int64
+	// ByProc is the summed duration per emitting process.
+	ByProc map[int32]int64
+	// Buckets is a log2 histogram: Buckets[i] counts spans whose duration
+	// in nanoseconds has bit length i (bucket 0 holds zero-length spans).
+	Buckets [65]int64
+}
+
+// MaxByProc reports the largest per-process duration total — the metric
+// phase breakdowns report (the slowest thread bounds the phase).
+func (s *SpanStat) MaxByProc() int64 {
+	var m int64
+	for _, v := range s.ByProc {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		counts:   map[string]int64{},
+		sums:     map[string]int64{},
+		counters: map[string]int64{},
+		spans:    map[string]*SpanStat{},
+		open:     map[int32][]openSpan{},
+	}
+}
+
+func key(cat, name string) string { return cat + "/" + name }
+
+// Emit aggregates one event.
+func (c *Collector) Emit(e Event) {
+	c.events++
+	switch e.Kind {
+	case KSpanBegin:
+		c.open[e.Proc] = append(c.open[e.Proc], openSpan{key(e.Cat, e.Name), e.Time})
+	case KSpanEnd:
+		stack := c.open[e.Proc]
+		if len(stack) == 0 {
+			c.counts["trace/unmatched-end"]++
+			return
+		}
+		sp := stack[len(stack)-1]
+		c.open[e.Proc] = stack[:len(stack)-1]
+		c.record(sp.key, e.Proc, e.Time-sp.start)
+	case KInstant:
+		k := key(e.Cat, e.Name)
+		c.counts[k]++
+		c.sums[k] += e.Arg
+	case KCounter:
+		c.counters[e.Name] += e.Arg
+	case KProcSpawn, KProcPark, KProcUnpark, KProcExit:
+		c.counts[key("sim", e.Kind.String())]++
+	}
+}
+
+func (c *Collector) record(k string, proc int32, d int64) {
+	s := c.spans[k]
+	if s == nil {
+		s = &SpanStat{Min: d, ByProc: map[int32]int64{}}
+		c.spans[k] = s
+	}
+	s.Count++
+	s.Total += d
+	if d < s.Min {
+		s.Min = d
+	}
+	if d > s.Max {
+		s.Max = d
+	}
+	s.ByProc[proc] += d
+	s.Buckets[bits.Len64(uint64(d))]++
+}
+
+// Events reports the number of events aggregated.
+func (c *Collector) Events() int64 { return c.events }
+
+// Count reports how many instants of cat/name were seen.
+func (c *Collector) Count(cat, name string) int64 { return c.counts[key(cat, name)] }
+
+// Sum reports the summed Arg over instants of cat/name.
+func (c *Collector) Sum(cat, name string) int64 { return c.sums[key(cat, name)] }
+
+// Counter reports the named counter's total.
+func (c *Collector) Counter(name string) int64 { return c.counters[name] }
+
+// CounterTotals returns a copy of every named counter total.
+func (c *Collector) CounterTotals() map[string]int64 {
+	out := make(map[string]int64, len(c.counters))
+	for k, v := range c.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Span reports the aggregated statistics of cat/name spans; the zero
+// SpanStat if none closed.
+func (c *Collector) Span(cat, name string) SpanStat {
+	if s := c.spans[key(cat, name)]; s != nil {
+		return *s
+	}
+	return SpanStat{}
+}
+
+// SpanKeys lists the cat/name keys with at least one closed span, sorted.
+func (c *Collector) SpanKeys() []string {
+	keys := make([]string, 0, len(c.spans))
+	for k := range c.spans {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// String renders a compact summary: span totals then counters, sorted.
+func (c *Collector) String() string {
+	var b strings.Builder
+	for _, k := range c.SpanKeys() {
+		s := c.spans[k]
+		fmt.Fprintf(&b, "%s: n=%d total=%dns max=%dns\n", k, s.Count, s.Total, s.Max)
+	}
+	names := make([]string, 0, len(c.counters))
+	for k := range c.counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&b, "%s=%d\n", k, c.counters[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+)
+
+// Session ties the process-default tracer to a Chrome trace file and a
+// digest for the duration of one traced run (the -trace=out.json flag of
+// the cmd/upc-* binaries). Every engine created between StartSession and
+// Close feeds both sinks; Close restores the previous default, writes
+// the JSON file, and leaves the digest readable.
+type Session struct {
+	prev Tracer
+	cw   *ChromeWriter
+	dg   *Digest
+	path string
+	f    *os.File
+	err  error
+}
+
+// StartSession installs a ChromeWriter+Digest pair as the process
+// default tracer. path names the JSON file Close will write ("" skips
+// the file and keeps only the digest). The file is created eagerly so
+// an unwritable path fails before the run, not after it.
+func StartSession(path string) *Session {
+	s := &Session{prev: Default(), cw: NewChromeWriter(), dg: NewDigest(), path: path}
+	if path != "" {
+		if s.f, s.err = os.Create(path); s.err != nil {
+			s.err = fmt.Errorf("trace: %w", s.err)
+		}
+	}
+	SetDefault(Tee(s.prev, Multi(s.cw, s.dg)))
+	return s
+}
+
+// Err reports whether the session's trace file could be created; call
+// after StartSession to fail fast on a bad path.
+func (s *Session) Err() error { return s.err }
+
+// Close restores the previous default tracer and writes the trace file.
+func (s *Session) Close() error {
+	SetDefault(s.prev)
+	if s.path == "" {
+		return nil
+	}
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.cw.Export(s.f); err != nil {
+		s.f.Close()
+		return fmt.Errorf("trace: exporting %s: %w", s.path, err)
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+// Digest reports the hash over every event the session observed.
+func (s *Session) Digest() uint64 { return s.dg.Sum64() }
+
+// Events reports how many events the session observed.
+func (s *Session) Events() int64 { return s.dg.Events() }

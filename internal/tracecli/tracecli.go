@@ -1,0 +1,51 @@
+// Package tracecli wires the shared -trace flag of the cmd/upc-*
+// binaries: importing it registers the flag, Start/Finish bracket the
+// run. With -trace=out.json every engine the run creates streams into
+// one Chrome trace-event file (open it in Perfetto or chrome://tracing),
+// and the run's TraceDigest — an order-sensitive hash of the full event
+// stream, identical across same-seed runs — is printed to stdout (the
+// CI determinism gate diffs it).
+package tracecli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+var path = flag.String("trace", "",
+	"write a Chrome trace-event JSON file of the run and print its TraceDigest")
+
+var sess *trace.Session
+
+// Start begins tracing if -trace was given. Call after flag.Parse.
+// Exits immediately if the trace file cannot be created, so a bad path
+// is reported before the sweep runs rather than after.
+func Start() {
+	if *path != "" {
+		sess = trace.StartSession(*path)
+		if err := sess.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// Finish writes the trace file and prints the TraceDigest line. Call
+// once after a successful run; a no-op when -trace was not given.
+func Finish() {
+	if sess == nil {
+		return
+	}
+	if err := sess.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("TraceDigest: %016x (%d events)\n", sess.Digest(), sess.Events())
+	// The notice goes to stderr so stdout stays byte-identical across
+	// same-seed runs (the CI determinism gate diffs it).
+	fmt.Fprintf(os.Stderr, "trace written to %s\n", *path)
+	sess = nil
+}

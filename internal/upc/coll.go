@@ -49,6 +49,7 @@ func (rt *Runtime) collCost(bytes int64) sim.Duration {
 // id) and every thread returns the combined result after the tree cost for
 // the given payload size.
 func runCollective(t *Thread, val any, bytes int64, combine func(vals []any) any) any {
+	end := t.P.TraceSpanArg("upc", "collective", "", bytes)
 	slot := t.rt.collSlot(t.collSeq)
 	t.collSeq++
 	slot.vals[t.ID] = val
@@ -58,6 +59,7 @@ func runCollective(t *Thread, val any, bytes int64, combine func(vals []any) any
 		t.rt.Eng.After(t.rt.collCost(bytes), slot.ev.Fire)
 	}
 	slot.ev.Wait(t.P)
+	end()
 	return slot.result
 }
 

@@ -17,6 +17,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/sim"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // Backend selects how UPC language threads are realized.
@@ -49,6 +50,9 @@ type Config struct {
 	PSHM           bool         // inter-process shared memory (Processes only)
 	Binding        topo.Binding // intra-node placement policy
 	Seed           int64        // engine seed
+	// Tracer, when non-nil, receives the run's trace events in addition to
+	// any process-default tracer (see internal/trace).
+	Tracer trace.Tracer
 }
 
 // sharedMem reports whether two threads on the same node can address each
@@ -152,6 +156,13 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		return nil, err
 	}
 	eng := sim.New(cfg.Seed)
+	if cfg.Tracer != nil {
+		// The default tracer (if any) already saw this engine's KRunBegin
+		// from sim.New; replay the boundary for the config-level sink.
+		cfg.Tracer.Emit(trace.Event{Kind: trace.KRunBegin, Proc: trace.EngineProc,
+			Cat: "sim", Name: "run", Arg: cfg.Seed})
+		eng.SetTracer(trace.Tee(eng.Tracer(), cfg.Tracer))
+	}
 	cl := fabric.NewCluster(eng, cfg.Machine, cond)
 
 	rt := &Runtime{

@@ -80,14 +80,17 @@ func (l *Lock) controlCost(t *Thread) {
 	}
 }
 
-// Lock acquires the lock (upc_lock), blocking while it is held.
+// Lock acquires the lock (upc_lock), blocking while it is held. The
+// acquisition is traced as an "upc/lock" span from request to grant.
 func (l *Lock) Lock(t *Thread) {
+	end := t.P.TraceSpanArg("upc", "lock", "", int64(l.home))
 	l.controlCost(t) // request travels to the home
 	for l.held {
 		l.q.Wait(t.P, "upc-lock")
 	}
 	l.held = true
 	l.controlCost(t) // grant travels back
+	end()
 }
 
 // TryLock attempts acquisition without blocking (upc_lock_attempt),
@@ -96,10 +99,12 @@ func (l *Lock) TryLock(t *Thread) bool {
 	l.controlCost(t)
 	if l.held {
 		l.controlCost(t)
+		t.P.TraceInstant("upc", "trylock", "busy", int64(l.home), 0)
 		return false
 	}
 	l.held = true
 	l.controlCost(t)
+	t.P.TraceInstant("upc", "trylock", "ok", int64(l.home), 0)
 	return true
 }
 
@@ -118,6 +123,7 @@ func (l *Lock) Unlock(t *Thread) {
 		oneWay = cond.SendOverhead + cond.MsgGap + cond.Latency
 	}
 	t.P.Advance(cond.SendOverhead / 2) // local injection cost
+	t.P.TraceInstant("upc", "unlock", "", int64(l.home), 0)
 	l.rt.Eng.After(oneWay, func() {
 		l.held = false
 		l.q.WakeOne()

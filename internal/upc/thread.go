@@ -82,8 +82,10 @@ func (t *Thread) Castable(other int) bool {
 // Barrier executes upc_barrier: all THREADS threads rendezvous; the
 // release is charged the dissemination cost across the nodes in use.
 func (t *Thread) Barrier() {
+	end := t.P.TraceSpan("upc", "barrier")
 	ev := t.rt.bar.notify(t.rt)
 	ev.Wait(t.P)
+	end()
 }
 
 // BarrierNotify begins a split-phase barrier (upc_notify).
@@ -91,6 +93,7 @@ func (t *Thread) BarrierNotify() {
 	if t.pendingBar != nil {
 		panic("upc: BarrierNotify without matching BarrierWait")
 	}
+	t.P.TraceInstant("upc", "barrier-notify", "", 0, 0)
 	t.pendingBar = t.rt.bar.notify(t.rt)
 }
 
@@ -101,7 +104,9 @@ func (t *Thread) BarrierWait() {
 	}
 	ev := t.pendingBar
 	t.pendingBar = nil
+	end := t.P.TraceSpan("upc", "barrier-wait")
 	ev.Wait(t.P)
+	end()
 }
 
 // ---- Cost-charging helpers for real computation ----
@@ -175,6 +180,7 @@ func (t *Thread) WaitAll(hs []*Handle) {
 // software-aggregated updates). apply executes in engine context and must
 // not block.
 func ApplyAsync(t *Thread, dst int, bytes int64, apply func()) *Handle {
+	t.P.TraceInstant("upc", "am", "", bytes, int64(dst))
 	return &Handle{op: t.putBytes(dst, bytes, apply)}
 }
 
