@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/topo"
+	"repro/internal/trace"
 	"repro/internal/upc"
 )
 
@@ -58,6 +59,8 @@ type ExchangeConfig struct {
 	Async   bool // Figure 3.4(b): non-blocking puts with explicit sync
 	Repeats int  // exchanges to run (default 3)
 	Seed    int64
+	// Tracer, when non-nil, receives the run's trace events.
+	Tracer trace.Tracer
 }
 
 // ExchangeResult is one measurement: time spent issuing the copies and,
@@ -103,6 +106,7 @@ func RunExchange(cfg ExchangeConfig) (ExchangeResult, error) {
 		PSHM:           pshm,
 		Binding:        topo.BindSocketRR,
 		Seed:           cfg.Seed,
+		Tracer:         cfg.Tracer,
 	}
 	blockBytes := int64(cfg.Class.Total()) * 16 / int64(cfg.Threads) / int64(cfg.Threads)
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/sim"
 	"repro/internal/topo"
+	"repro/internal/trace"
 	"repro/internal/upc"
 )
 
@@ -25,6 +26,8 @@ type Config struct {
 	Reps        int // operations per pair (default: latency 50, flood 20)
 	Window      int // flood: outstanding puts per pair (default 8)
 	Seed        int64
+	// Tracer, when non-nil, receives the run's trace events.
+	Tracer trace.Tracer
 }
 
 // Result is one measured point.
@@ -63,6 +66,7 @@ func (c *Config) upcConfig() (upc.Config, error) {
 		Backend:        backend,
 		PSHM:           true,
 		Seed:           c.Seed,
+		Tracer:         c.Tracer,
 	}, nil
 }
 

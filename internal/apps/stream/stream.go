@@ -13,7 +13,9 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/subthread"
+	"repro/internal/sweep"
 	"repro/internal/topo"
+	"repro/internal/trace"
 	"repro/internal/upc"
 )
 
@@ -71,6 +73,9 @@ type TwistedConfig struct {
 	ElemsPerThrd int
 	Variant      Variant
 	Seed         int64
+	// Tracer, when non-nil, receives the run's trace events (required by
+	// parallel sweeps, where the default tracer is detached).
+	Tracer trace.Tracer
 }
 
 // RunTwisted executes the twisted triad on a single SMP node and reports
@@ -97,6 +102,7 @@ func RunTwisted(cfg TwistedConfig) (Result, error) {
 		// socket, as the paper's bound runs do.
 		Binding: topo.BindCoreBlocked,
 		Seed:    cfg.Seed,
+		Tracer:  cfg.Tracer,
 	}
 	var kernel sim.Duration
 	var errOut error
@@ -184,15 +190,18 @@ func RunTwisted(cfg TwistedConfig) (Result, error) {
 	return Result{Name: cfg.Variant.String(), GBps: gbps, Elapsed: kernel}, nil
 }
 
-// Table31 regenerates Table 3.1 on the Lehman node model.
+// Table31 regenerates Table 3.1 on the Lehman node model. The four
+// variants are independent simulations and run on the sweep worker pool.
 func Table31(seed int64) ([]Result, error) {
-	out := make([]Result, 0, 4)
-	for _, v := range Variants() {
-		r, err := RunTwisted(TwistedConfig{Variant: v, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+	vs := Variants()
+	out := make([]Result, len(vs))
+	err := sweep.Run(len(vs), func(i int, tr trace.Tracer) error {
+		r, err := RunTwisted(TwistedConfig{Variant: vs[i], Seed: seed, Tracer: tr})
+		out[i] = r
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -207,6 +216,8 @@ type HybridConfig struct {
 	FirstTouch   bool // sub-threads first-touch their chunks (pure-OpenMP style)
 	ElemsPerThrd int  // per sub-thread
 	Seed         int64
+	// Tracer, when non-nil, receives the run's trace events.
+	Tracer trace.Tracer
 }
 
 // RunHybrid executes the hybrid UPC×OpenMP triad of Table 4.1 and reports
@@ -228,6 +239,7 @@ func RunHybrid(cfg HybridConfig) (Result, error) {
 		PSHM:           true,
 		Binding:        topo.BindSocketRR, // numactl round-robin, as the paper
 		Seed:           cfg.Seed,
+		Tracer:         cfg.Tracer,
 	}
 	var kernel sim.Duration
 	var errOut error
@@ -289,36 +301,40 @@ func RunHybrid(cfg HybridConfig) (Result, error) {
 }
 
 // Table41 regenerates Table 4.1 on the Lehman node model: pure UPC, pure
-// OpenMP, and the 1×8 / 2×4 / 4×2 hybrid configurations.
+// OpenMP, and the 1×8 / 2×4 / 4×2 hybrid configurations. The rows are
+// independent simulations and run on the sweep worker pool.
 func Table41(seed int64) ([]Result, error) {
-	var out []Result
-
-	pureUPC, err := RunHybrid(HybridConfig{UPCThreads: 8, SubThreads: 1, Bound: true, Seed: seed})
-	if err != nil {
-		return nil, err
+	rows := []struct {
+		u, s       int
+		bound      bool
+		firstTouch bool
+		rename     string
+	}{
+		{8, 1, true, false, "UPC 8"},
+		// The pure OpenMP reference is not socket-confined (no numactl):
+		// its threads scatter across both sockets and first-touch their
+		// chunks.
+		{1, 8, false, true, "OpenMP 8"},
+		{1, 8, false, false, ""},
+		{2, 4, true, false, ""},
+		{4, 2, true, false, ""},
 	}
-	pureUPC.Name = "UPC 8"
-	out = append(out, pureUPC)
-
-	// The pure OpenMP reference is not socket-confined (no numactl): its
-	// threads scatter across both sockets and first-touch their chunks.
-	pureOMP, err := RunHybrid(HybridConfig{UPCThreads: 1, SubThreads: 8, Bound: false,
-		FirstTouch: true, Seed: seed})
-	if err != nil {
-		return nil, err
-	}
-	pureOMP.Name = "OpenMP 8"
-	out = append(out, pureOMP)
-
-	for _, c := range []struct {
-		u, s  int
-		bound bool
-	}{{1, 8, false}, {2, 4, true}, {4, 2, true}} {
-		r, err := RunHybrid(HybridConfig{UPCThreads: c.u, SubThreads: c.s, Bound: c.bound, Seed: seed})
+	out := make([]Result, len(rows))
+	err := sweep.Run(len(rows), func(i int, tr trace.Tracer) error {
+		c := rows[i]
+		r, err := RunHybrid(HybridConfig{UPCThreads: c.u, SubThreads: c.s, Bound: c.bound,
+			FirstTouch: c.firstTouch, Seed: seed, Tracer: tr})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, r)
+		if c.rename != "" {
+			r.Name = c.rename
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

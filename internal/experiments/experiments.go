@@ -16,6 +16,7 @@ import (
 	"repro/internal/apps/uts"
 	"repro/internal/perf"
 	"repro/internal/report"
+	"repro/internal/sweep"
 	"repro/internal/topo"
 	"repro/internal/trace"
 )
@@ -88,15 +89,6 @@ func utsConfig(conduit string, procs int, strat uts.Strategy, quick bool) uts.Co
 	}
 }
 
-// tracedUTS runs one UTS configuration with a Collector attached and
-// returns both the result and the aggregated trace.
-func tracedUTS(cfg uts.Config) (uts.Result, *trace.Collector, error) {
-	col := trace.NewCollector()
-	cfg.Tracer = col
-	r, err := uts.Run(cfg)
-	return r, col, err
-}
-
 // localStealPct computes Table 3.2's local-steal percentage from the
 // trace-fed counters (equal to Result.LocalStealPct by construction).
 func localStealPct(c *trace.Collector) float64 {
@@ -108,17 +100,33 @@ func localStealPct(c *trace.Collector) float64 {
 }
 
 // Figure33 regenerates Figure 3.3 (UTS parallel scalability on 16 nodes,
-// InfiniBand and Ethernet panels).
+// InfiniBand and Ethernet panels). Every conduit x strategy x size point
+// is an independent simulation; the sweep fans them out over the worker
+// pool and renders from the index-ordered results.
 func Figure33(w io.Writer, quick bool) error {
-	for _, conduit := range []string{"ibv-ddr", "gige"} {
-		series := make([]report.Series, len(uts.Strategies()))
-		for si, st := range uts.Strategies() {
+	conduits := []string{"ibv-ddr", "gige"}
+	strats := uts.Strategies()
+	sizes := []int{16, 32, 64, 128}
+	results := make([]uts.Result, len(conduits)*len(strats)*len(sizes))
+	err := sweep.Run(len(results), func(i int, tr trace.Tracer) error {
+		ci := i / (len(strats) * len(sizes))
+		si := i / len(sizes) % len(strats)
+		pi := i % len(sizes)
+		cfg := utsConfig(conduits[ci], sizes[pi], strats[si], quick)
+		cfg.Tracer = tr
+		r, err := uts.Run(cfg)
+		results[i] = r
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	for ci, conduit := range conduits {
+		series := make([]report.Series, len(strats))
+		for si, st := range strats {
 			series[si].Label = st.String()
-			for _, procs := range []int{16, 32, 64, 128} {
-				r, err := uts.Run(utsConfig(conduit, procs, st, quick))
-				if err != nil {
-					return err
-				}
+			for pi, procs := range sizes {
+				r := results[(ci*len(strats)+si)*len(sizes)+pi]
 				series[si].X = append(series[si].X, float64(procs))
 				series[si].Y = append(series[si].Y, r.MNodesPerSec)
 			}
@@ -145,25 +153,40 @@ func Table32(w io.Writer, quick bool) error {
 		{"3.4%", "36.2", "59.0"}, {"7.1%", "58.1", "82.9"}, {"11.2%", "72.2", "90.9"},
 		{"49.4%", "18.2", "57.8"}, {"66.5%", "40.5", "81.1"}, {"99.5%", "58.1", "89.7"},
 	}
+	// The steal percentages come from the trace stream, not the app's
+	// ad-hoc counters: each run feeds its own Collector and the table
+	// reads the aggregated "uts" counters back out of it. The two runs
+	// per shape (baseline and optimized strategy) are flattened over the
+	// worker pool: even indices baseline, odd optimized.
+	type traced struct {
+		r   uts.Result
+		col *trace.Collector
+	}
+	runs := make([]traced, 2*len(shapes))
+	err := sweep.Run(len(runs), func(i int, tr trace.Tracer) error {
+		strat := uts.BaselineRR
+		if i%2 == 1 {
+			strat = uts.LocalRapid
+		}
+		col := trace.NewCollector()
+		cfg := utsConfig(shapes[i/2].net, shapes[i/2].procs, strat, quick)
+		cfg.Tracer = trace.Tee(col, tr)
+		r, err := uts.Run(cfg)
+		runs[i] = traced{r, col}
+		return err
+	})
+	if err != nil {
+		return err
+	}
 	rows := make([][]string, 0, len(shapes))
 	for i, sh := range shapes {
-		// The steal percentages come from the trace stream, not the app's
-		// ad-hoc counters: each run feeds a Collector and the table reads
-		// the aggregated "uts" counters back out of it.
-		base, baseCol, err := tracedUTS(utsConfig(sh.net, sh.procs, uts.BaselineRR, quick))
-		if err != nil {
-			return err
-		}
-		opt, optCol, err := tracedUTS(utsConfig(sh.net, sh.procs, uts.LocalRapid, quick))
-		if err != nil {
-			return err
-		}
-		improve := (base.Elapsed.Seconds()/opt.Elapsed.Seconds() - 1) * 100
+		base, opt := runs[2*i], runs[2*i+1]
+		improve := (base.r.Elapsed.Seconds()/opt.r.Elapsed.Seconds() - 1) * 100
 		rows = append(rows, []string{
 			fmt.Sprintf("%s %d/%d", sh.net, sh.procs, sh.procs/16),
 			fmt.Sprintf("%.1f%%", improve),
-			fmt.Sprintf("%.1f", localStealPct(baseCol)),
-			fmt.Sprintf("%.1f", localStealPct(optCol)),
+			fmt.Sprintf("%.1f", localStealPct(base.col)),
+			fmt.Sprintf("%.1f", localStealPct(opt.col)),
 			paper[i][0], paper[i][1], paper[i][2],
 		})
 	}
@@ -185,23 +208,31 @@ func fig34Layouts() []struct{ Threads, PerNode int } {
 func Figure34a(w io.Writer) error {
 	cls, _ := ft.ClassByName("B")
 	modes := []ft.ExchangeMode{ft.ExPSHM, ft.ExPSHMCast, ft.ExPthreads, ft.ExPthreadsCast}
-	series := make([]report.Series, len(modes))
-	for _, lay := range fig34Layouts() {
-		base, err := ft.RunExchange(ft.ExchangeConfig{
-			Machine: topo.Pyramid(), Class: cls, Threads: lay.Threads,
-			PerNode: lay.PerNode, Mode: ft.ExBase, Seed: seed,
-		})
-		if err != nil {
-			return err
+	lays := fig34Layouts()
+	// Per layout: the base-runtime reference plus the four modes.
+	stride := 1 + len(modes)
+	results := make([]ft.ExchangeResult, len(lays)*stride)
+	err := sweep.Run(len(results), func(i int, tr trace.Tracer) error {
+		lay := lays[i/stride]
+		mode := ft.ExBase
+		if m := i % stride; m > 0 {
+			mode = modes[m-1]
 		}
+		r, err := ft.RunExchange(ft.ExchangeConfig{
+			Machine: topo.Pyramid(), Class: cls, Threads: lay.Threads,
+			PerNode: lay.PerNode, Mode: mode, Seed: seed, Tracer: tr,
+		})
+		results[i] = r
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	series := make([]report.Series, len(modes))
+	for li, lay := range lays {
+		base := results[li*stride]
 		for mi, m := range modes {
-			r, err := ft.RunExchange(ft.ExchangeConfig{
-				Machine: topo.Pyramid(), Class: cls, Threads: lay.Threads,
-				PerNode: lay.PerNode, Mode: m, Seed: seed,
-			})
-			if err != nil {
-				return err
-			}
+			r := results[li*stride+1+mi]
 			series[mi].Label = m.String()
 			series[mi].X = append(series[mi].X, float64(lay.Threads))
 			series[mi].Y = append(series[mi].Y,
@@ -217,16 +248,26 @@ func Figure34a(w io.Writer) error {
 // runtime configuration.
 func Figure34b(w io.Writer) error {
 	cls, _ := ft.ClassByName("B")
+	lays := fig34Layouts()
+	modes := ft.ExchangeModes()
+	results := make([]ft.ExchangeResult, len(lays)*len(modes))
+	err := sweep.Run(len(results), func(i int, tr trace.Tracer) error {
+		lay := lays[i/len(modes)]
+		r, err := ft.RunExchange(ft.ExchangeConfig{
+			Machine: topo.Pyramid(), Class: cls, Threads: lay.Threads,
+			PerNode: lay.PerNode, Mode: modes[i%len(modes)], Async: true,
+			Seed: seed, Tracer: tr,
+		})
+		results[i] = r
+		return err
+	})
+	if err != nil {
+		return err
+	}
 	var rows [][]string
-	for _, lay := range fig34Layouts() {
-		for _, m := range ft.ExchangeModes() {
-			r, err := ft.RunExchange(ft.ExchangeConfig{
-				Machine: topo.Pyramid(), Class: cls, Threads: lay.Threads,
-				PerNode: lay.PerNode, Mode: m, Async: true, Seed: seed,
-			})
-			if err != nil {
-				return err
-			}
+	for li, lay := range lays {
+		for mi, m := range modes {
+			r := results[li*len(modes)+mi]
 			rows = append(rows, []string{
 				fmt.Sprintf("%d(%d*%d)", lay.Threads, lay.Threads/lay.PerNode, lay.PerNode),
 				m.String(),
@@ -259,7 +300,12 @@ func Figure42(w io.Writer, panel string, quick bool) error {
 		}
 		sizes = trimmed
 	}
-	var series []report.Series
+	type combo struct {
+		links int
+		pthr  bool
+		label string
+	}
+	var combos []combo
 	for _, pthr := range []bool{false, true} {
 		for _, l := range links {
 			if l == 1 && pthr {
@@ -273,27 +319,38 @@ func Figure42(w io.Writer, panel string, quick bool) error {
 					label = fmt.Sprintf("%d link processes", l)
 				}
 			}
-			s := report.Series{Label: label}
-			for _, sz := range sizes {
-				cfg := netbench.Config{Links: l, Pthreads: pthr, Size: sz, Seed: seed}
-				var y float64
-				if panel == "a" {
-					r, err := netbench.Latency(cfg)
-					if err != nil {
-						return err
-					}
-					y = r.RTT.Micros()
-				} else {
-					r, err := netbench.Flood(cfg)
-					if err != nil {
-						return err
-					}
-					y = r.BandwidthMBps
-				}
-				s.X = append(s.X, float64(sz))
-				s.Y = append(s.Y, y)
+			combos = append(combos, combo{l, pthr, label})
+		}
+	}
+	ys := make([]float64, len(combos)*len(sizes))
+	err := sweep.Run(len(ys), func(i int, tr trace.Tracer) error {
+		c := combos[i/len(sizes)]
+		cfg := netbench.Config{Links: c.links, Pthreads: c.pthr,
+			Size: sizes[i%len(sizes)], Seed: seed, Tracer: tr}
+		if panel == "a" {
+			r, err := netbench.Latency(cfg)
+			if err != nil {
+				return err
 			}
-			series = append(series, s)
+			ys[i] = r.RTT.Micros()
+		} else {
+			r, err := netbench.Flood(cfg)
+			if err != nil {
+				return err
+			}
+			ys[i] = r.BandwidthMBps
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	series := make([]report.Series, len(combos))
+	for ci, c := range combos {
+		series[ci].Label = c.label
+		for szi, sz := range sizes {
+			series[ci].X = append(series[ci].X, float64(sz))
+			series[ci].Y = append(series[ci].Y, ys[ci*len(sizes)+szi])
 		}
 	}
 	title := "Figure 4.2(a): multi-link round-trip latency (us) vs size"
@@ -305,13 +362,15 @@ func Figure42(w io.Writer, panel string, quick bool) error {
 }
 
 // utsRunQuick runs one UTS configuration and reports throughput in
-// Mnodes/s (helper for the summary).
-func utsRunQuick(conduit string, procs int, optimized bool, quick bool) (float64, error) {
+// Mnodes/s (helper for the summary; tr is the sweep job's tracer).
+func utsRunQuick(conduit string, procs int, optimized bool, quick bool, tr trace.Tracer) (float64, error) {
 	strat := uts.BaselineRR
 	if optimized {
 		strat = uts.LocalRapid
 	}
-	r, err := uts.Run(utsConfig(conduit, procs, strat, quick))
+	cfg := utsConfig(conduit, procs, strat, quick)
+	cfg.Tracer = tr
+	r, err := uts.Run(cfg)
 	if err != nil {
 		return 0, err
 	}

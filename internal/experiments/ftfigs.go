@@ -7,7 +7,9 @@ import (
 	"repro/internal/apps/ft"
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // ftThreads lists the Lehman strong-scaling points: 1..64 cores on 8 nodes
@@ -37,19 +39,26 @@ func Figure44(w io.Writer, quick bool) error {
 		"evolve": "Evolve", "transpose": "Local Transpose",
 		"fft1d": "FFT 1D", "fft2d": "FFT 2D", "comm-call": "All-to-All (split-phase)",
 	}
+	threads := ftThreads(quick)
+	results := make([]ft.Result, len(threads))
+	err := sweep.Run(len(threads), func(i int, tr trace.Tracer) error {
+		r, err := ft.Run(ft.Config{
+			Machine: topo.Lehman(), Class: cls, Variant: ft.UPCProcesses,
+			Threads: threads[i], PerNode: perNodeFor(threads[i]), Seed: seed, Tracer: tr,
+		})
+		results[i] = r
+		return err
+	})
+	if err != nil {
+		return err
+	}
 	base := map[string]sim.Duration{}
 	series := make([]report.Series, len(phases))
 	for i, ph := range phases {
 		series[i].Label = labels[ph]
 	}
-	for _, threads := range ftThreads(quick) {
-		r, err := ft.Run(ft.Config{
-			Machine: topo.Lehman(), Class: cls, Variant: ft.UPCProcesses,
-			Threads: threads, PerNode: perNodeFor(threads), Seed: seed,
-		})
-		if err != nil {
-			return err
-		}
+	for ti, threads := range threads {
+		r := results[ti]
 		for i, ph := range phases {
 			d := r.Phases[ph]
 			if ph == "comm-call" {
@@ -90,56 +99,55 @@ func Figure45(w io.Writer, quick bool) error {
 		if quick {
 			cores = cores[:len(cores)-1] // skip the most expensive point
 		}
-		series := []report.Series{
-			{Label: "MPI"}, {Label: "UPC (processes)"},
-			{Label: "UPC (pthreads)"}, {Label: "UPC*Threads (hybrid)"},
+		// Four runs per core count (MPI, process UPC, pthread UPC, and the
+		// hybrid with two masters per node and sub-threads filling the
+		// rest), flattened over the worker pool.
+		type spec struct {
+			v                      ft.Variant
+			threads, perNode, subs int
 		}
+		var totals []int
+		var specs []spec
 		for _, total := range cores {
 			per := total / pl.nodes
 			if per < 1 {
 				continue
 			}
-			x := float64(total)
-			run := func(v ft.Variant, threads, perNode, subs int) (float64, error) {
-				r, err := ft.Run(ft.Config{
-					Machine: pl.mach, Class: cls, Variant: v, Impl: ft.SplitPhase,
-					Threads: threads, PerNode: perNode, SubThreads: subs, Seed: seed,
-				})
-				if err != nil {
-					return 0, err
-				}
-				return r.Comm.Seconds(), nil
-			}
-			y, err := run(ft.MPIFortran, total, per, 0)
-			if err != nil {
-				return err
-			}
-			series[0].X = append(series[0].X, x)
-			series[0].Y = append(series[0].Y, y)
-			y, err = run(ft.UPCProcesses, total, per, 0)
-			if err != nil {
-				return err
-			}
-			series[1].X = append(series[1].X, x)
-			series[1].Y = append(series[1].Y, y)
-			y, err = run(ft.UPCPthreads, total, per, 0)
-			if err != nil {
-				return err
-			}
-			series[2].X = append(series[2].X, x)
-			series[2].Y = append(series[2].Y, y)
-			// Hybrid: two masters per node, sub-threads filling the rest.
 			masters := 2 * pl.nodes
 			subs := total / masters
 			if subs < 1 {
 				masters, subs = total, 1
 			}
-			y, err = run(ft.HybridOMP, masters, masters/pl.nodes, subs)
-			if err != nil {
-				return err
+			totals = append(totals, total)
+			specs = append(specs,
+				spec{ft.MPIFortran, total, per, 0},
+				spec{ft.UPCProcesses, total, per, 0},
+				spec{ft.UPCPthreads, total, per, 0},
+				spec{ft.HybridOMP, masters, masters / pl.nodes, subs})
+		}
+		comm := make([]float64, len(specs))
+		err := sweep.Run(len(specs), func(i int, tr trace.Tracer) error {
+			s := specs[i]
+			r, err := ft.Run(ft.Config{
+				Machine: pl.mach, Class: cls, Variant: s.v, Impl: ft.SplitPhase,
+				Threads: s.threads, PerNode: s.perNode, SubThreads: s.subs,
+				Seed: seed, Tracer: tr,
+			})
+			comm[i] = r.Comm.Seconds()
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		series := []report.Series{
+			{Label: "MPI"}, {Label: "UPC (processes)"},
+			{Label: "UPC (pthreads)"}, {Label: "UPC*Threads (hybrid)"},
+		}
+		for ti, total := range totals {
+			for k := range series {
+				series[k].X = append(series[k].X, float64(total))
+				series[k].Y = append(series[k].Y, comm[ti*4+k])
 			}
-			series[3].X = append(series[3].X, x)
-			series[3].Y = append(series[3].Y, y)
 		}
 		report.Figure(w, fmt.Sprintf("Figure 4.5: split-phase communication time (s), %s", pl.name),
 			"cores", series)
@@ -165,45 +173,60 @@ func fig46Configs(quick bool) []struct{ U, S int } {
 func Figure46(w io.Writer, quick bool) error {
 	cls, _ := ft.ClassByName("B")
 	for _, impl := range []ft.Impl{ft.SplitPhase, ft.Overlap} {
-		// Baselines: process UPC at each total-thread count.
-		base := map[int]float64{}
+		cfgs := fig46Configs(quick)
 		variants := []ft.Variant{ft.HybridOMP, ft.HybridCilk, ft.HybridPool, ft.UPCPthreads}
+		// Baselines: process UPC at each distinct total-thread count, in
+		// first-appearance order; then every config x variant run. All are
+		// independent, so one sweep covers baselines and variants alike.
+		var totals []int
+		baseIdx := map[int]int{}
+		for _, c := range cfgs {
+			if total := c.U * c.S; baseIdx[total] == 0 {
+				totals = append(totals, total)
+				baseIdx[total] = len(totals) // 1-based to distinguish absent
+			}
+		}
+		nb := len(totals)
+		elapsed := make([]float64, nb+len(cfgs)*len(variants))
+		err := sweep.Run(len(elapsed), func(i int, tr trace.Tracer) error {
+			fcfg := ft.Config{Machine: topo.Lehman(), Class: cls, Impl: impl,
+				Seed: seed, Tracer: tr}
+			if i < nb {
+				fcfg.Variant = ft.UPCProcesses
+				fcfg.Threads = totals[i]
+				fcfg.PerNode = perNodeFor(totals[i])
+			} else {
+				c := cfgs[(i-nb)/len(variants)]
+				v := variants[(i-nb)%len(variants)]
+				fcfg.Variant = v
+				if v == ft.UPCPthreads {
+					fcfg.Threads = c.U * c.S
+					fcfg.PerNode = perNodeFor(c.U * c.S)
+				} else {
+					fcfg.Threads = c.U
+					fcfg.PerNode = perNodeFor(c.U)
+					fcfg.SubThreads = c.S
+				}
+			}
+			r, err := ft.Run(fcfg)
+			elapsed[i] = r.Elapsed.Seconds()
+			return err
+		})
+		if err != nil {
+			return err
+		}
 		series := make([]report.Series, len(variants))
 		for i, v := range variants {
 			series[i].Label = v.String()
 		}
-		for _, c := range fig46Configs(quick) {
+		for ci, c := range cfgs {
 			total := c.U * c.S
-			if _, ok := base[total]; !ok {
-				r, err := ft.Run(ft.Config{
-					Machine: topo.Lehman(), Class: cls, Variant: ft.UPCProcesses,
-					Impl: impl, Threads: total, PerNode: perNodeFor(total), Seed: seed,
-				})
-				if err != nil {
-					return err
-				}
-				base[total] = r.Elapsed.Seconds()
-			}
 			x := float64(c.U*1000 + c.S) // encodes the U*S label
-			for i, v := range variants {
-				var r ft.Result
-				var err error
-				if v == ft.UPCPthreads {
-					r, err = ft.Run(ft.Config{
-						Machine: topo.Lehman(), Class: cls, Variant: v, Impl: impl,
-						Threads: total, PerNode: perNodeFor(total), Seed: seed,
-					})
-				} else {
-					r, err = ft.Run(ft.Config{
-						Machine: topo.Lehman(), Class: cls, Variant: v, Impl: impl,
-						Threads: c.U, PerNode: perNodeFor(c.U), SubThreads: c.S, Seed: seed,
-					})
-				}
-				if err != nil {
-					return err
-				}
+			base := elapsed[baseIdx[total]-1]
+			for i := range variants {
+				y := elapsed[nb+ci*len(variants)+i]
 				series[i].X = append(series[i].X, x)
-				series[i].Y = append(series[i].Y, (base[total]/r.Elapsed.Seconds()-1)*100)
+				series[i].Y = append(series[i].Y, (base/y-1)*100)
 			}
 		}
 		report.Figure(w,
@@ -217,31 +240,35 @@ func Figure46(w io.Writer, quick bool) error {
 // Summary prints the thesis's two headline conclusions against the model.
 func Summary(w io.Writer, quick bool) error {
 	cls, _ := ft.ClassByName("B")
-	pure, err := ft.Run(ft.Config{
-		Machine: topo.Lehman(), Class: cls, Variant: ft.UPCProcesses,
-		Threads: 64, PerNode: 8, Seed: seed,
-	})
-	if err != nil {
+	var pure, hyb ft.Result
+	var utsBase, utsOpt float64
+	// The four headline runs are independent; each job writes a distinct
+	// slot, so they parallelize like any other sweep.
+	err := sweep.Run(4, func(i int, tr trace.Tracer) error {
+		var err error
+		switch i {
+		case 0:
+			pure, err = ft.Run(ft.Config{
+				Machine: topo.Lehman(), Class: cls, Variant: ft.UPCProcesses,
+				Threads: 64, PerNode: 8, Seed: seed, Tracer: tr,
+			})
+		case 1:
+			hyb, err = ft.Run(ft.Config{
+				Machine: topo.Lehman(), Class: cls, Variant: ft.HybridOMP,
+				Threads: 16, PerNode: 2, SubThreads: 4, Seed: seed, Tracer: tr,
+			})
+		case 2:
+			utsBase, err = utsRunQuick("gige", 128, false, quick, tr)
+		case 3:
+			utsOpt, err = utsRunQuick("gige", 128, true, quick, tr)
+		}
 		return err
-	}
-	hyb, err := ft.Run(ft.Config{
-		Machine: topo.Lehman(), Class: cls, Variant: ft.HybridOMP,
-		Threads: 16, PerNode: 2, SubThreads: 4, Seed: seed,
 	})
 	if err != nil {
 		return err
 	}
 	ftGain := pure.Elapsed.Seconds() / hyb.Elapsed.Seconds()
-
-	base, err := utsRunQuick("gige", 128, false, quick)
-	if err != nil {
-		return err
-	}
-	opt, err := utsRunQuick("gige", 128, true, quick)
-	if err != nil {
-		return err
-	}
-	utsGain := opt / base
+	utsGain := utsOpt / utsBase
 
 	report.Table(w, "Headline conclusions (paper vs model)",
 		[]string{"claim", "paper", "model"},

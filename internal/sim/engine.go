@@ -29,6 +29,7 @@ type Engine struct {
 
 	rng    *rand.Rand
 	tracer trace.Tracer
+	clock  bool // emit KClock advances (tracer opted in via trace.Clocked)
 
 	panicVal   any
 	panicProc  string
@@ -39,10 +40,14 @@ type Engine struct {
 // Rand) is seeded with seed, making whole simulations reproducible.
 func New(seed int64) *Engine {
 	e := &Engine{
-		parked: make(chan struct{}),
+		// Capacity 1 makes every handoff signal non-blocking: the engine
+		// and the running proc strictly alternate, so at most one token is
+		// ever in flight and a sender never sleeps at the send.
+		parked: make(chan struct{}, 1),
 		rng:    rand.New(rand.NewSource(seed)),
 		tracer: trace.Default(),
 	}
+	e.clock = trace.WantsClock(e.tracer)
 	if e.tracer != nil {
 		e.emit(trace.KRunBegin, trace.EngineProc, "sim", "run", "", seed, 0)
 	}
@@ -68,7 +73,7 @@ func (e *Engine) Go(name string, fn func(*Proc)) *Proc {
 		eng:    e,
 		id:     e.nextID,
 		name:   name,
-		resume: make(chan struct{}),
+		resume: make(chan struct{}, 1),
 		fn:     fn,
 	}
 	e.nextID++
@@ -92,7 +97,7 @@ func (e *Engine) After(d Duration, fn func()) {
 
 func (e *Engine) schedule(at Time, p *Proc, fn func()) {
 	e.seq++
-	e.events.push(&event{at: at, seq: e.seq, proc: p, fn: fn})
+	e.events.push(event{at: at, seq: e.seq, proc: p, fn: fn})
 }
 
 // unpark schedules a wake for a parked process at the current time. It is
@@ -105,6 +110,13 @@ func (e *Engine) unpark(p *Proc) {
 // Run executes the simulation until no events remain. It returns a
 // deadlock error if live processes remain parked with an empty event heap.
 // A panic inside a simulated process is re-raised with its origin noted.
+//
+// Control transfers directly between simulated processes: the goroutine
+// that parks or finishes runs the dispatch loop itself (advancing the
+// clock, executing engine callbacks inline, waking the next process), so
+// a yield costs one goroutine switch instead of a round trip through an
+// engine goroutine. Run's own goroutine only blocks until the heap
+// drains or a panic aborts the simulation.
 func (e *Engine) Run() error {
 	if e.inRun {
 		return fmt.Errorf("sim: Run called reentrantly")
@@ -112,41 +124,16 @@ func (e *Engine) Run() error {
 	e.inRun = true
 	defer func() { e.inRun = false }()
 
-	for len(e.events) > 0 {
-		ev := e.events.pop()
-		if ev.at < e.now {
-			panic(fmt.Sprintf("sim: time ran backwards: %v -> %v", e.now, ev.at))
+	e.handoff(nil)
+	<-e.parked
+	if e.panicVal != nil {
+		if e.panicProc == "" {
+			// Engine-context panic (an After callback, a clock regression):
+			// re-raise the original value, as the old engine loop did.
+			panic(e.panicVal)
 		}
-		if ev.at != e.now {
-			e.now = ev.at
-			if e.tracer != nil {
-				e.emit(trace.KClock, trace.EngineProc, "sim", "clock", "", int64(e.now), 0)
-			}
-		}
-		if ev.fn != nil {
-			ev.fn()
-			continue
-		}
-		p := ev.proc
-		if p.finished {
-			continue
-		}
-		e.cur = p
-		if !p.started {
-			p.started = true
-			go p.top()
-		} else {
-			if e.tracer != nil {
-				e.emit(trace.KProcUnpark, int32(p.id), "sim", p.name, p.blocked, 0, 0)
-			}
-			p.resume <- struct{}{}
-		}
-		<-e.parked
-		e.cur = nil
-		if e.panicVal != nil {
-			panic(fmt.Sprintf("sim: process %q panicked: %v\n%s",
-				e.panicProc, e.panicVal, e.panicStack))
-		}
+		panic(fmt.Sprintf("sim: process %q panicked: %v\n%s",
+			e.panicProc, e.panicVal, e.panicStack))
 	}
 	if e.nLive > e.nDaemon {
 		var stuck []string
@@ -166,6 +153,72 @@ func (e *Engine) Run() error {
 	return nil
 }
 
+// handoff is the dispatch loop, run by whichever goroutine is giving up
+// control (a parking or finishing process, or Run itself at startup). It
+// pops events — executing callbacks and clock moves inline in engine
+// context — until it wakes the next process (ownership passes to that
+// goroutine) or the heap drains (ownership returns to Run). A panic in
+// engine context is recorded and control is aborted back to Run.
+//
+// parker is the process whose park invoked the loop (nil from Run and
+// from a finishing process). When the next event wakes parker itself —
+// a process dispatching its own Advance or Yield — the token is passed
+// by setting parker.selfGrant, which park consumes on the same
+// goroutine: the common solo-process case costs no channel operation
+// and no scheduler round trip at all. Any other process is woken with a
+// plain send on its capacity-1 resume channel; the target is either
+// already blocked there or still on its way to the receive, and the
+// buffer slot absorbs the token either way.
+func (e *Engine) handoff(parker *Proc) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e.panicVal == nil {
+				e.panicVal = r
+				e.panicProc = "" // engine context
+				e.panicStack = debug.Stack()
+			}
+			e.parked <- struct{}{}
+		}
+	}()
+	e.cur = nil
+	for e.events.Len() > 0 {
+		ev := e.events.pop()
+		if ev.at < e.now {
+			panic(fmt.Sprintf("sim: time ran backwards: %v -> %v", e.now, ev.at))
+		}
+		if ev.at != e.now {
+			e.now = ev.at
+			if e.clock {
+				e.emit(trace.KClock, trace.EngineProc, "sim", "clock", "", int64(e.now), 0)
+			}
+		}
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		p := ev.proc
+		if p.finished {
+			continue
+		}
+		e.cur = p
+		if !p.started {
+			p.started = true
+			go p.top()
+		} else {
+			if e.tracer != nil {
+				e.emit(trace.KProcUnpark, int32(p.id), "sim", p.name, p.blocked, 0, 0)
+			}
+			if p == parker {
+				p.selfGrant = true
+			} else {
+				p.resume <- struct{}{}
+			}
+		}
+		return
+	}
+	e.parked <- struct{}{}
+}
+
 // Proc is a simulated execution context. All methods must be called from
 // the process's own goroutine while it is the running process.
 type Proc struct {
@@ -174,6 +227,11 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	fn     func(*Proc)
+
+	// selfGrant is the same-goroutine control token: set by handoff when
+	// the dispatching process wakes itself, consumed by park without
+	// touching resume. Only ever accessed from p's own goroutine.
+	selfGrant bool
 
 	started  bool
 	finished bool
@@ -208,36 +266,49 @@ func (p *Proc) Engine() *Engine { return p.eng }
 // Now reports the current virtual time.
 func (p *Proc) Now() Time { return p.eng.now }
 
-// top is the goroutine body wrapping the user function.
+// top is the goroutine body wrapping the user function. When the
+// function returns (or panics), the goroutine hands control onward via
+// the dispatch loop; on panic control aborts straight back to Run.
 func (p *Proc) top() {
 	defer func() {
-		if r := recover(); r != nil && p.eng.panicVal == nil {
-			p.eng.panicVal = r
-			p.eng.panicProc = p.name
-			p.eng.panicStack = debug.Stack()
+		e := p.eng
+		if r := recover(); r != nil && e.panicVal == nil {
+			e.panicVal = r
+			e.panicProc = p.name
+			e.panicStack = debug.Stack()
 		}
 		p.finished = true
-		if e := p.eng; e.tracer != nil {
+		if e.tracer != nil {
 			e.emit(trace.KProcExit, int32(p.id), "sim", p.name, "", 0, 0)
 		}
-		p.eng.nLive--
+		e.nLive--
 		if p.daemon {
-			p.eng.nDaemon--
+			e.nDaemon--
 		}
-		p.eng.parked <- struct{}{}
+		if e.panicVal != nil {
+			e.parked <- struct{}{}
+			return
+		}
+		e.handoff(nil)
 	}()
 	p.fn(p)
 }
 
 // park suspends the process until the engine resumes it. The caller must
 // already have arranged a wake (a scheduled event or a WaitQueue entry).
+// The parking goroutine itself dispatches the next event before
+// blocking, so the switch to the next runnable process is direct.
 func (p *Proc) park(reason string) {
 	p.blocked = reason
 	if e := p.eng; e.tracer != nil {
 		e.emit(trace.KProcPark, int32(p.id), "sim", p.name, reason, 0, 0)
 	}
-	p.eng.parked <- struct{}{}
-	<-p.resume
+	p.eng.handoff(p)
+	if p.selfGrant {
+		p.selfGrant = false
+	} else {
+		<-p.resume
+	}
 	p.blocked = ""
 }
 
@@ -264,40 +335,69 @@ func (p *Proc) Go(name string, fn func(*Proc)) *Proc {
 }
 
 // WaitQueue is a FIFO list of parked processes; the building block for
-// condition variables, mailboxes and resource queues.
+// condition variables, mailboxes and resource queues. It is a ring over a
+// power-of-two backing array, so WakeOne dequeues in O(1) instead of
+// shifting every remaining waiter, and woken slots are always cleared so
+// the array retains no *Proc references.
 type WaitQueue struct {
-	waiters []*Proc
+	buf  []*Proc
+	head int
+	n    int
 }
 
 // Len reports how many processes are parked on the queue.
-func (q *WaitQueue) Len() int { return len(q.waiters) }
+func (q *WaitQueue) Len() int { return q.n }
 
 // Wait parks p on the queue until a WakeOne/WakeAll reaches it.
 func (q *WaitQueue) Wait(p *Proc, reason string) {
-	q.waiters = append(q.waiters, p)
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = p
+	q.n++
 	p.park(reason)
+}
+
+// grow doubles the ring (minimum 8 slots), unwrapping the live span to
+// the front of the new array.
+func (q *WaitQueue) grow() {
+	size := 8
+	if len(q.buf) > 0 {
+		size = 2 * len(q.buf)
+	}
+	buf := make([]*Proc, size)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = buf
+	q.head = 0
 }
 
 // WakeOne unparks the longest-waiting process, reporting whether one
 // existed. Must be called from simulation context.
 func (q *WaitQueue) WakeOne() bool {
-	if len(q.waiters) == 0 {
+	if q.n == 0 {
 		return false
 	}
-	p := q.waiters[0]
-	copy(q.waiters, q.waiters[1:])
-	q.waiters[len(q.waiters)-1] = nil
-	q.waiters = q.waiters[:len(q.waiters)-1]
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
 	p.eng.unpark(p)
 	return true
 }
 
-// WakeAll unparks every waiter, reporting how many were woken.
+// WakeAll unparks every waiter in FIFO order, reporting how many were
+// woken.
 func (q *WaitQueue) WakeAll() int {
-	n := len(q.waiters)
-	for _, p := range q.waiters {
+	woken := q.n
+	for i := 0; i < woken; i++ {
+		at := (q.head + i) & (len(q.buf) - 1)
+		p := q.buf[at]
+		q.buf[at] = nil
 		p.eng.unpark(p)
 	}
-	q.waiters = q.waiters[:0]
-	return n
+	q.head = 0
+	q.n = 0
+	return woken
 }

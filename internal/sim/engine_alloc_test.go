@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The allocation-regression tests pin the untraced hot path at zero
+// allocations per operation: the event heap stores events by value, the
+// WaitQueue is a reusable ring, and a process resuming itself never
+// touches a channel, so a warm engine must schedule, park and wake
+// without the allocator. testing.AllocsPerRun runs inside the simulated
+// process — the engine is otherwise idle, so any count it sees is the
+// operation's own.
+
+func TestAdvanceNoAlloc(t *testing.T) {
+	e := New(1)
+	per := -1.0
+	e.Go("adv", func(p *Proc) {
+		for i := 0; i < 64; i++ {
+			p.Advance(1) // warm the event heap
+		}
+		per = testing.AllocsPerRun(200, func() { p.Advance(1) })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if per != 0 {
+		t.Errorf("Advance allocates %v allocs/op, want 0", per)
+	}
+}
+
+func TestYieldNoAlloc(t *testing.T) {
+	e := New(1)
+	per := -1.0
+	e.Go("yield", func(p *Proc) {
+		for i := 0; i < 64; i++ {
+			p.Yield()
+		}
+		per = testing.AllocsPerRun(200, func() { p.Yield() })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if per != 0 {
+		t.Errorf("Yield allocates %v allocs/op, want 0", per)
+	}
+}
+
+func TestServerDelayNoAlloc(t *testing.T) {
+	e := New(1)
+	var srv Server
+	per := -1.0
+	e.Go("delay", func(p *Proc) {
+		for i := 0; i < 64; i++ {
+			srv.Delay(p, 1)
+		}
+		per = testing.AllocsPerRun(200, func() { srv.Delay(p, 1) })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if per != 0 {
+		t.Errorf("Server.Delay allocates %v allocs/op, want 0", per)
+	}
+}
+
+// TestWakeAllClearsSlots guards against the ring retaining *Proc
+// pointers after the waiters are gone: a truncated-but-referencing
+// backing array would keep every woken process (and everything it
+// closes over) live for the queue's lifetime.
+func TestWakeAllClearsSlots(t *testing.T) {
+	e := New(1)
+	var q WaitQueue
+	const n = 5
+	for i := 0; i < n; i++ {
+		e.Go(fmt.Sprintf("w%d", i), func(p *Proc) { q.Wait(p, "test") })
+	}
+	e.Go("waker", func(p *Proc) {
+		p.Advance(1)
+		if got := q.WakeAll(); got != n {
+			t.Errorf("WakeAll woke %d, want %d", got, n)
+		}
+		for i, slot := range q.buf {
+			if slot != nil {
+				t.Errorf("slot %d still references a Proc after WakeAll", i)
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWakeOneClearsSlot(t *testing.T) {
+	e := New(1)
+	var q WaitQueue
+	e.Go("w", func(p *Proc) { q.Wait(p, "test") })
+	e.Go("waker", func(p *Proc) {
+		p.Advance(1)
+		head := q.head
+		q.WakeOne()
+		if q.buf[head] != nil {
+			t.Error("WakeOne left a Proc reference in the vacated slot")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWaitQueueFIFOAcrossWrap drives the ring through several
+// grow/wrap cycles and checks that wake order always matches wait
+// order.
+func TestWaitQueueFIFOAcrossWrap(t *testing.T) {
+	e := New(1)
+	var q WaitQueue
+	var order []int
+	const n = 40
+	for i := 0; i < n; i++ {
+		id := i
+		e.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			// Stagger arrivals so waiters enqueue in id order while the
+			// waker drains between batches, forcing head to wrap.
+			p.Advance(Duration(id / 4))
+			q.Wait(p, "test")
+			order = append(order, id)
+		})
+	}
+	e.Go("waker", func(p *Proc) {
+		woken := 0
+		for woken < n {
+			p.Advance(1)
+			if q.WakeOne() {
+				woken++
+			}
+			if woken%7 == 0 {
+				woken += q.WakeAll()
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != n {
+		t.Fatalf("woke %d of %d waiters", len(order), n)
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("wake order not FIFO: %v", order)
+		}
+	}
+}
+
+// TestSelfGrantSkipsChannel locks in the same-goroutine fast path: a
+// process that dispatches its own wake event must resume via the
+// selfGrant flag, not its resume channel.
+func TestSelfGrantSkipsChannel(t *testing.T) {
+	e := New(1)
+	e.Go("solo", func(p *Proc) {
+		p.Advance(1)
+		if len(p.resume) != 0 {
+			t.Error("self-resume left a token in the resume channel")
+		}
+		if p.selfGrant {
+			t.Error("selfGrant not consumed by park")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

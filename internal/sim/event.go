@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // event is an entry in the engine's pending-event heap. Exactly one of
 // proc and fn is set: proc events resume a parked process; fn events run a
 // callback inline in engine context (used by resources such as
@@ -13,30 +11,77 @@ type event struct {
 	fn   func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by time, then FIFO by sequence number.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// eventHeap is an index-based 4-ary min-heap storing events by value: the
+// backing array is the only allocation, so a warm heap schedules and pops
+// without touching the allocator, and the shallower tree (depth log4 n)
+// halves the sift work of the binary container/heap version it replaced.
+type eventHeap struct {
+	a []event
 }
 
-func (h *eventHeap) push(ev *event) { heap.Push(h, ev) }
+func (h *eventHeap) Len() int { return len(h.a) }
 
-func (h *eventHeap) pop() *event { return heap.Pop(h).(*event) }
+// push inserts ev, sifting it up from the last slot.
+func (h *eventHeap) push(ev event) {
+	h.a = append(h.a, ev)
+	a := h.a
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !a[i].before(&a[parent]) {
+			break
+		}
+		a[i], a[parent] = a[parent], a[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event, clearing the vacated slot
+// so the backing array retains no *Proc or closure references.
+func (h *eventHeap) pop() event {
+	a := h.a
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a[n] = event{}
+	h.a = a[:n]
+	if n > 1 {
+		h.siftDown()
+	}
+	return top
+}
+
+func (h *eventHeap) siftDown() {
+	a := h.a
+	n := len(a)
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if a[c].before(&a[min]) {
+				min = c
+			}
+		}
+		if !a[min].before(&a[i]) {
+			return
+		}
+		a[i], a[min] = a[min], a[i]
+		i = min
+	}
+}

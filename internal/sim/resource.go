@@ -1,7 +1,5 @@
 package sim
 
-import "math"
-
 // Server is a first-come-first-served pipelined resource, such as a NIC
 // injection port or a DMA engine: each request occupies the server for a
 // caller-supplied duration, requests are serviced in arrival order, and a
@@ -53,18 +51,70 @@ func (s *Server) BusyUntil() Time { return s.busyUntil }
 // processor-sharing fairness: while n flows are active each proceeds at
 // capacity/n. It reproduces the first-order behaviour of a memory
 // controller or a network link carrying simultaneous transfers.
+//
+// Accounting is incremental: because every active flow is served at the
+// same instantaneous rate, the link tracks one number — served, the
+// cumulative bytes delivered to each flow since it joined an idle link —
+// and a flow is just the served value at which it completes. Advancing
+// the clock is O(1) regardless of how many flows are active (it used to
+// charge every flow on every start/finish), and flows complete in served
+// order out of a min-heap keyed by that finish point.
 type SharedLink struct {
 	eng      *Engine
 	capacity float64 // bytes per second
-	flows    []*flow
+	served   float64 // per-flow bytes delivered since the link went busy
+	flows    flowHeap
 	last     Time   // time of the last work-accounting update
 	epoch    uint64 // invalidates stale completion callbacks
 }
 
 type flow struct {
-	remaining float64 // bytes
-	done      WaitQueue
-	finished  bool
+	end      float64 // served value at which this flow completes
+	done     WaitQueue
+	finished bool
+}
+
+// flowHeap is a min-heap of active flows ordered by completion point.
+type flowHeap []*flow
+
+func (h *flowHeap) push(f *flow) {
+	*h = append(*h, f)
+	a := *h
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if a[parent].end <= a[i].end {
+			break
+		}
+		a[i], a[parent] = a[parent], a[i]
+		i = parent
+	}
+}
+
+func (h *flowHeap) pop() *flow {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a[n] = nil
+	a = a[:n]
+	*h = a
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && a[c+1].end < a[c].end {
+			c++
+		}
+		if a[i].end <= a[c].end {
+			break
+		}
+		a[i], a[c] = a[c], a[i]
+		i = c
+	}
+	return top
 }
 
 // NewSharedLink creates a link with the given capacity in bytes/second on
@@ -118,20 +168,19 @@ func (fl *Flow) Wait(p *Proc) {
 
 func (l *SharedLink) start(size int64) *flow {
 	l.account()
-	f := &flow{remaining: float64(size)}
-	l.flows = append(l.flows, f)
+	f := &flow{end: l.served + float64(size)}
+	l.flows.push(f)
 	l.reschedule()
 	return f
 }
 
-// account charges elapsed bandwidth shares to every active flow.
+// account advances the per-flow service accumulator by the bandwidth
+// share delivered since the last update — O(1) however many flows are
+// active, since processor sharing serves them all at the same rate.
 func (l *SharedLink) account() {
 	now := l.eng.Now()
 	if now > l.last && len(l.flows) > 0 {
-		share := l.capacity / float64(len(l.flows)) * (now - l.last).Seconds()
-		for _, f := range l.flows {
-			f.remaining -= share
-		}
+		l.served += l.capacity / float64(len(l.flows)) * (now - l.last).Seconds()
 	}
 	l.last = now
 }
@@ -140,31 +189,20 @@ func (l *SharedLink) account() {
 // callback for the earliest remaining one.
 func (l *SharedLink) reschedule() {
 	const eps = 1e-6 // bytes; absorbs float rounding
-	kept := l.flows[:0]
-	for _, f := range l.flows {
-		if f.remaining <= eps {
-			f.finished = true
-			f.done.WakeAll()
-		} else {
-			kept = append(kept, f)
-		}
+	for len(l.flows) > 0 && l.flows[0].end-l.served <= eps {
+		f := l.flows.pop()
+		f.finished = true
+		f.done.WakeAll()
 	}
-	for i := len(kept); i < len(l.flows); i++ {
-		l.flows[i] = nil
-	}
-	l.flows = kept
 	l.epoch++
 	if len(l.flows) == 0 {
+		// Idle: rebase the accumulator so it cannot lose precision over
+		// arbitrarily long simulations.
+		l.served = 0
 		return
 	}
-	minRem := math.Inf(1)
-	for _, f := range l.flows {
-		if f.remaining < minRem {
-			minRem = f.remaining
-		}
-	}
 	rate := l.capacity / float64(len(l.flows))
-	dt := FromSeconds(minRem / rate)
+	dt := FromSeconds((l.flows[0].end - l.served) / rate)
 	if dt < 1 {
 		dt = 1 // guarantee forward progress despite rounding
 	}

@@ -9,8 +9,13 @@ import "repro/internal/trace"
 
 // SetTracer installs tr as the engine's event sink (nil disables
 // tracing). Install before the simulation starts; swapping mid-run would
-// leave sinks with unbalanced spans.
-func (e *Engine) SetTracer(tr trace.Tracer) { e.tracer = tr }
+// leave sinks with unbalanced spans. Per-advance KClock events are only
+// emitted when the sink opts in (see trace.Clocked); no built-in sink
+// needs them, which keeps traced clock advances cheap.
+func (e *Engine) SetTracer(tr trace.Tracer) {
+	e.tracer = tr
+	e.clock = trace.WantsClock(tr)
+}
 
 // Tracer reports the installed event sink, or nil.
 func (e *Engine) Tracer() trace.Tracer { return e.tracer }

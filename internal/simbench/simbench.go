@@ -1,0 +1,125 @@
+// Package simbench holds the engine microbenchmark bodies shared by the
+// go-test benchmarks (internal/sim) and the cmd/upc-bench recorder. They
+// live outside a _test.go file so upc-bench can drive them through
+// testing.Benchmark and write the results — ns/op and allocs/op — to
+// BENCH_sim.json, the committed baseline the CI bench job regresses
+// against.
+//
+// Every figure and table of the reproduction is regenerated through
+// millions of park/unpark cycles, event-heap operations and resource
+// waits, so per-yield cost here is wall-clock cost everywhere.
+package simbench
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// PingPongYield is the headline handoff benchmark: two processes
+// alternately yield to each other, so each op is one schedule + one
+// park/unpark handoff per process.
+func PingPongYield(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.New(1)
+	for i := 0; i < 2; i++ {
+		e.Go(fmt.Sprintf("p%d", i), func(p *sim.Proc) {
+			for n := 0; n < b.N; n++ {
+				p.Yield()
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// Advance measures the solo-process path: one heap push, one pop, one
+// park/unpark per op, with the clock moving every time.
+func Advance(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.New(1)
+	e.Go("p", func(p *sim.Proc) {
+		for n := 0; n < b.N; n++ {
+			p.Advance(1)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BarrierStorm runs one barrier generation of the given width per op:
+// every process parks on the WaitQueue and the last arrival wakes them
+// all, so each op is ~width queue appends, wakes and handoffs.
+func BarrierStorm(b *testing.B, procs int) {
+	b.ReportAllocs()
+	e := sim.New(1)
+	bar := sim.NewBarrier(procs)
+	for i := 0; i < procs; i++ {
+		e.Go(fmt.Sprintf("w%d", i), func(p *sim.Proc) {
+			for n := 0; n < b.N; n++ {
+				bar.Wait(p)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BarrierStorm1k is BarrierStorm at the recorded 1000-process width.
+func BarrierStorm1k(b *testing.B) { BarrierStorm(b, 1000) }
+
+// ServerDelay measures the FCFS resource fast path: each op is one
+// occupancy charge plus the advance to its completion.
+func ServerDelay(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.New(1)
+	var srv sim.Server
+	e.Go("p", func(p *sim.Proc) {
+		for n := 0; n < b.N; n++ {
+			srv.Delay(p, 1)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// SharedLink32Flows measures processor-sharing accounting under load: 32
+// processes keep concurrent flows on one link, so every start/finish
+// exercises the incremental accounting with ~32 active flows.
+func SharedLink32Flows(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.New(1)
+	l := sim.NewSharedLink(e, 1e9)
+	for i := 0; i < 32; i++ {
+		e.Go(fmt.Sprintf("f%d", i), func(p *sim.Proc) {
+			for n := 0; n < b.N; n++ {
+				l.Transfer(p, 1000)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// All lists the recorded microbenchmarks in BENCH_sim.json order.
+var All = []struct {
+	Name string
+	Fn   func(*testing.B)
+}{
+	{"PingPongYield", PingPongYield},
+	{"Advance", Advance},
+	{"BarrierStorm1k", BarrierStorm1k},
+	{"ServerDelay", ServerDelay},
+	{"SharedLink32Flows", SharedLink32Flows},
+}

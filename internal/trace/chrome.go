@@ -3,6 +3,7 @@ package trace
 import (
 	"encoding/json"
 	"io"
+	"sort"
 )
 
 // ChromeWriter buffers the event stream and exports it as Chrome
@@ -70,8 +71,16 @@ func (w *ChromeWriter) Export(out io.Writer) error {
 	}
 	counters := map[string]int64{} // running totals per pid/name
 	closeRun := func() {
-		for t, depth := range openStack {
-			for i := 0; i < depth; i++ {
+		// Sorted by tid: map order would make the export nondeterministic
+		// whenever several procs end the run with open spans (e.g. parked
+		// daemon pool workers).
+		tids := make([]int, 0, len(openStack))
+		for t := range openStack {
+			tids = append(tids, t)
+		}
+		sort.Ints(tids)
+		for _, t := range tids {
+			for i := 0; i < openStack[t]; i++ {
 				ces = append(ces, chromeEvent{Name: "", Ph: "E", Ts: us(lastTs), Pid: pid, Tid: t})
 			}
 		}

@@ -20,17 +20,23 @@ type Session struct {
 }
 
 // StartSession installs a ChromeWriter+Digest pair as the process
-// default tracer. path names the JSON file Close will write ("" skips
-// the file and keeps only the digest). The file is created eagerly so
-// an unwritable path fails before the run, not after it.
+// default tracer. path names the JSON file Close will write; "" runs a
+// digest-only session — no ChromeWriter, so nothing is buffered and the
+// memory cost stays flat no matter how many events the run emits (this
+// is what the CI determinism gate uses on the large sweeps). The file is
+// created eagerly so an unwritable path fails before the run, not after
+// it.
 func StartSession(path string) *Session {
-	s := &Session{prev: Default(), cw: NewChromeWriter(), dg: NewDigest(), path: path}
+	s := &Session{prev: Default(), dg: NewDigest(), path: path}
+	sink := Tracer(s.dg)
 	if path != "" {
+		s.cw = NewChromeWriter()
+		sink = Multi(s.cw, s.dg)
 		if s.f, s.err = os.Create(path); s.err != nil {
 			s.err = fmt.Errorf("trace: %w", s.err)
 		}
 	}
-	SetDefault(Tee(s.prev, Multi(s.cw, s.dg)))
+	SetDefault(Tee(s.prev, sink))
 	return s
 }
 

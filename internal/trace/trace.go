@@ -102,6 +102,41 @@ type Tracer interface {
 	Emit(Event)
 }
 
+// ClockObserver is the opt-in capability for per-advance KClock events.
+// The engine emits one KClock per virtual-clock move — by far the most
+// frequent event in a run — so it asks the sink first and skips the
+// emission entirely unless the sink implements this interface and
+// returns true. None of the built-in sinks ask for clocks (ChromeWriter
+// and Collector ignore them; Digest hashes whatever arrives); wrap a
+// sink in Clocked to request them.
+type ClockObserver interface {
+	ObserveClock() bool
+}
+
+// WantsClock reports whether t opted into KClock events.
+func WantsClock(t Tracer) bool {
+	if co, ok := t.(ClockObserver); ok {
+		return co.ObserveClock()
+	}
+	return false
+}
+
+// clocked marks a sink as wanting KClock events.
+type clocked struct {
+	Tracer
+}
+
+func (clocked) ObserveClock() bool { return true }
+
+// Clocked wraps t so engines emit per-advance KClock events into it
+// (full-fidelity mode: every clock move appears in the stream).
+func Clocked(t Tracer) Tracer {
+	if t == nil {
+		return nil
+	}
+	return clocked{t}
+}
+
 // multi fans events out to several sinks.
 type multi []Tracer
 
@@ -109,6 +144,16 @@ func (m multi) Emit(e Event) {
 	for _, t := range m {
 		t.Emit(e)
 	}
+}
+
+// ObserveClock reports whether any fanned-out sink wants KClock events.
+func (m multi) ObserveClock() bool {
+	for _, t := range m {
+		if WantsClock(t) {
+			return true
+		}
+	}
+	return false
 }
 
 // Multi returns a tracer that forwards every event to each sink in order.

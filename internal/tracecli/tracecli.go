@@ -1,30 +1,44 @@
-// Package tracecli wires the shared -trace flag of the cmd/upc-*
-// binaries: importing it registers the flag, Start/Finish bracket the
-// run. With -trace=out.json every engine the run creates streams into
-// one Chrome trace-event file (open it in Perfetto or chrome://tracing),
-// and the run's TraceDigest — an order-sensitive hash of the full event
-// stream, identical across same-seed runs — is printed to stdout (the
-// CI determinism gate diffs it).
+// Package tracecli wires the shared flags of the cmd/upc-* binaries:
+// importing it registers -trace, -digest and -parallel, and Start/Finish
+// bracket the run. With -trace=out.json every engine the run creates
+// streams into one Chrome trace-event file (open it in Perfetto or
+// chrome://tracing), and the run's TraceDigest — an order-sensitive hash
+// of the full event stream, identical across same-seed runs — is printed
+// to stdout (the CI determinism gate diffs it); -digest prints the
+// TraceDigest alone, without buffering the stream or writing a file.
+// With -parallel=N the experiment sweeps fan independent simulations out
+// over N worker threads; results, stdout, and the TraceDigest are
+// byte-identical at any N (see internal/sweep).
 package tracecli
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
 var path = flag.String("trace", "",
 	"write a Chrome trace-event JSON file of the run and print its TraceDigest")
 
+var digest = flag.Bool("digest", false,
+	"print the run's TraceDigest without writing a trace file (flat memory; what CI uses on large sweeps)")
+
+var parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
+	"worker threads for experiment sweeps (1 = sequential; output is identical at any value)")
+
 var sess *trace.Session
 
-// Start begins tracing if -trace was given. Call after flag.Parse.
+// Start applies the shared flags: sets the sweep worker-pool width and
+// begins tracing if -trace or -digest was given. Call after flag.Parse.
 // Exits immediately if the trace file cannot be created, so a bad path
 // is reported before the sweep runs rather than after.
 func Start() {
-	if *path != "" {
+	sweep.SetWorkers(*parallel)
+	if *path != "" || *digest {
 		sess = trace.StartSession(*path)
 		if err := sess.Err(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -33,8 +47,9 @@ func Start() {
 	}
 }
 
-// Finish writes the trace file and prints the TraceDigest line. Call
-// once after a successful run; a no-op when -trace was not given.
+// Finish writes the trace file (if any) and prints the TraceDigest
+// line. Call once after a successful run; a no-op when neither -trace
+// nor -digest was given.
 func Finish() {
 	if sess == nil {
 		return
@@ -44,8 +59,10 @@ func Finish() {
 		os.Exit(1)
 	}
 	fmt.Printf("TraceDigest: %016x (%d events)\n", sess.Digest(), sess.Events())
-	// The notice goes to stderr so stdout stays byte-identical across
-	// same-seed runs (the CI determinism gate diffs it).
-	fmt.Fprintf(os.Stderr, "trace written to %s\n", *path)
+	if *path != "" {
+		// The notice goes to stderr so stdout stays byte-identical across
+		// same-seed runs (the CI determinism gate diffs it).
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", *path)
+	}
 	sess = nil
 }
