@@ -1,0 +1,205 @@
+// upcvet is the repository's invariant checker: a multichecker that
+// runs the internal/analysis suite — wallclock, maporder, rawgo,
+// affinity, spanpair — over the module's packages, test files included.
+// CI gates every PR on a clean run; see DESIGN.md "Determinism
+// invariants" for what each rule protects and internal/analysis for
+// the //upcvet: annotation grammar.
+//
+//	upcvet ./...                 # whole module (the CI invocation)
+//	upcvet ./internal/...        # one subtree
+//	upcvet -run maporder ./...   # a single analyzer
+//	upcvet -fix ./...            # append suppression annotations to
+//	                             # every annotatable finding (prefer
+//	                             # real fixes; see the analyzer docs)
+//	upcvet help                  # describe the analyzers
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var (
+	fix     = flag.Bool("fix", false, "apply suggested fixes (appends //upcvet: annotations to flagged lines)")
+	runOnly = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 1 && args[0] == "help" {
+		help()
+		return
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	analyzers, err := selectAnalyzers(*runOnly)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "upcvet:", err)
+		os.Exit(2)
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "upcvet:", err)
+		os.Exit(2)
+	}
+	var diags []analysis.Diagnostic
+	for _, pattern := range args {
+		dirs, err := analysis.PackageDirs(loader.Root, pattern)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "upcvet:", err)
+			os.Exit(2)
+		}
+		for _, dir := range dirs {
+			rel, err := filepath.Rel(loader.Root, dir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "upcvet:", err)
+				os.Exit(2)
+			}
+			path := loader.Module
+			if rel != "." {
+				path = loader.Module + "/" + filepath.ToSlash(rel)
+			}
+			units, err := loader.Load(dir, path, true)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "upcvet:", err)
+				os.Exit(2)
+			}
+			for _, unit := range units {
+				ds, err := analysis.RunAnalyzers(unit, analyzers)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "upcvet:", err)
+					os.Exit(2)
+				}
+				diags = append(diags, ds...)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pos.Column < b.Pos.Column
+	})
+	for _, d := range diags {
+		rel := d.Pos.Filename
+		if r, err := filepath.Rel(loader.Root, rel); err == nil {
+			rel = r
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if *fix {
+		n, err := applyFixes(diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "upcvet:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("upcvet: applied %d fix(es)\n", n)
+		return
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "upcvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
+	if names == "" {
+		return analysis.All, nil
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		a, ok := analysis.ByName(strings.TrimSpace(name))
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// applyFixes performs the suggested edits. The only edit shape the
+// suite produces is "append an annotation to line L of file F",
+// encoded with a negative Offset carrying the line number; resolve it
+// against the file contents and rewrite each file once.
+func applyFixes(diags []analysis.Diagnostic) (int, error) {
+	type lineFix struct {
+		line int
+		text string
+	}
+	perFile := map[string][]lineFix{}
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			if e.Offset >= 0 {
+				return 0, fmt.Errorf("unsupported edit shape in %s", d.Pos.Filename)
+			}
+			perFile[e.File] = append(perFile[e.File], lineFix{line: -e.Offset, text: e.NewText})
+		}
+	}
+	files := make([]string, 0, len(perFile))
+	for f := range perFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	applied := 0
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return applied, err
+		}
+		lines := strings.Split(string(data), "\n")
+		done := map[int]bool{}
+		for _, f := range perFile[file] {
+			if f.line < 1 || f.line > len(lines) || done[f.line] {
+				continue
+			}
+			if strings.Contains(lines[f.line-1], "//upcvet:") {
+				continue
+			}
+			lines[f.line-1] += f.text
+			done[f.line] = true
+			applied++
+		}
+		if err := os.WriteFile(file, []byte(strings.Join(lines, "\n")), 0o644); err != nil {
+			return applied, err
+		}
+	}
+	return applied, nil
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: upcvet [-fix] [-run a,b] [package patterns]\n")
+	flag.PrintDefaults()
+}
+
+func help() {
+	fmt.Println("upcvet enforces the simulation's determinism and UPC-runtime invariants.")
+	fmt.Println()
+	for _, a := range analysis.All {
+		fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		if len(a.Aliases) > 0 {
+			fmt.Printf("%-10s (annotation alias: //upcvet:%s)\n", "", strings.Join(a.Aliases, ", //upcvet:"))
+		}
+	}
+	fmt.Println()
+	fmt.Println("Suppress a finding with //upcvet:NAME [-- reason] on the flagged line")
+	fmt.Println("or the line above it; see internal/analysis for the grammar.")
+}

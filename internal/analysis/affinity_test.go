@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestAffinity(t *testing.T) {
+	// Contract violations: package-level stores, unguarded dereferences,
+	// escaping closures, Partition outside internal/upc.
+	analysistest.Run(t, "testdata/affinity/bad", "repro/internal/apps/affdata", analysis.Affinity)
+	// Guarded and annotated uses: silent.
+	analysistest.Run(t, "testdata/affinity/ok", "repro/internal/apps/affok", analysis.Affinity)
+	// Partition inside internal/upc itself: exempt.
+	analysistest.Run(t, "testdata/affinity/upc", "repro/internal/upc", analysis.Affinity)
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import "testing"
+
+func TestParseAnnotation(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string
+	}{
+		{"//upcvet:wallclock", []string{"wallclock"}},
+		{"//upcvet:wallclock -- real benchmarking", []string{"wallclock"}},
+		{"//upcvet:maporder,rawgo", []string{"maporder", "rawgo"}},
+		{"//upcvet:ordered\treason after a tab", []string{"ordered"}},
+		{"// upcvet:wallclock", nil}, // space before the marker: not an annotation
+		{"//upcvet:", nil},
+		{"// plain comment", nil},
+	}
+	for _, c := range cases {
+		got, ok := parseAnnotation(c.text)
+		if (c.want == nil) == ok {
+			t.Errorf("parseAnnotation(%q) ok = %v, want %v", c.text, ok, c.want != nil)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("parseAnnotation(%q) = %v, want %v", c.text, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseAnnotation(%q) = %v, want %v", c.text, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestSimSide(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"repro/internal/sim", true},
+		{"repro/internal/sim_test", true}, // test unit of a sim-side package
+		{"repro/internal/apps/stream", true},
+		{"repro/internal/apps/stream_test", true},
+		{"repro/cmd/upc-bench", false},
+		{"repro/internal/simbench", false}, // prefix of a name, not a path element
+		{"repro/internal/analysis", false},
+	}
+	for _, c := range cases {
+		if got := SimSide(c.path); got != c.want {
+			t.Errorf("SimSide(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range All {
+		got, ok := ByName(a.Name)
+		if !ok || got != a {
+			t.Errorf("ByName(%q) did not resolve the analyzer", a.Name)
+		}
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Error("ByName(nonesuch) should not resolve")
+	}
+}

@@ -1,0 +1,151 @@
+// Package analysistest exercises one analyzer against a directory of
+// marked-up Go source, in the manner of
+// golang.org/x/tools/go/analysis/analysistest. A comment of the form
+//
+//	// want "regexp" ["regexp" ...]
+//
+// asserts that the analyzer reports a finding on that line matching
+// each pattern; a line without a want comment must produce no finding.
+// The package under test is type-checked under a caller-chosen import
+// path, which is how testdata poses as simulation-side
+// ("repro/internal/apps/...") or host-side ("repro/cmd/...") code to
+// the analyzers' package-scope rules.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// sharedLoader memoizes the expensive standard-library typechecking
+// across Run calls. The analysis tests call Run sequentially from one
+// goroutine, so no lock is needed (and taking one would drag a sync
+// import into a package upcvet itself checks).
+var sharedLoader *analysis.Loader
+
+// Run loads the package in dir, type-checks it under import path
+// asPath, applies the analyzer, and matches its findings against the
+// want comments in the source.
+func Run(t *testing.T, dir, asPath string, a *analysis.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharedLoader == nil {
+		l, err := analysis.NewLoader(abs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedLoader = l
+	}
+	units, err := sharedLoader.Load(abs, asPath, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) == 0 {
+		t.Fatalf("no Go files in %s", dir)
+	}
+	for _, unit := range units {
+		diags, err := analysis.RunAnalyzers(unit, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkUnit(t, unit, diags)
+	}
+}
+
+// lineKey addresses one source line of the unit.
+type lineKey struct {
+	file string
+	line int
+}
+
+// wantExpect is one compiled pattern from a want comment.
+type wantExpect struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func checkUnit(t *testing.T, unit *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := map[lineKey][]*wantExpect{}
+	var keys []lineKey
+	for _, f := range unit.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns := parseWant(c.Text)
+				if len(patterns) == 0 {
+					continue
+				}
+				pos := unit.Fset.Position(c.Pos())
+				k := lineKey{pos.Filename, pos.Line}
+				if len(wants[k]) == 0 {
+					keys = append(keys, k)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v",
+							filepath.Base(pos.Filename), pos.Line, p, err)
+					}
+					wants[k] = append(wants[k], &wantExpect{re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		k := lineKey{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected finding: %s: %s",
+				filepath.Base(d.Pos.Filename), d.Pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s:%d: no finding matched %q",
+					filepath.Base(k.file), k.line, w.re)
+			}
+		}
+	}
+}
+
+// wantQuoted matches one double-quoted pattern in a want comment.
+var wantQuoted = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// parseWant extracts the patterns of one `// want "x" "y"` comment.
+func parseWant(text string) []string {
+	rest, ok := strings.CutPrefix(text, "// want ")
+	if !ok {
+		return nil
+	}
+	var out []string
+	for _, m := range wantQuoted.FindAllString(rest, -1) {
+		s, err := strconv.Unquote(m)
+		if err != nil {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestRawgo(t *testing.T) {
+	// Raw goroutines, channels and sync imports in model code: flagged.
+	analysistest.Run(t, "testdata/rawgo/bad", "repro/internal/apps/rawgodata", analysis.Rawgo)
+	// Annotated, justified concurrency in a non-exempt package: silent.
+	analysistest.Run(t, "testdata/rawgo/ok", "repro/internal/apps/rawgodata", analysis.Rawgo)
+	// The same constructs inside internal/sim, which owns the coroutine
+	// handoff: exempt.
+	analysistest.Run(t, "testdata/rawgo/exempt", "repro/internal/sim/rawgodata", analysis.Rawgo)
+}

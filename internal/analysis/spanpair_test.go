@@ -1,0 +1,17 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestSpanpair(t *testing.T) {
+	// Discarded closers, an early return past the closer, and an open
+	// merge falling off the end: flagged.
+	analysistest.Run(t, "testdata/spanpair/bad", "repro/internal/apps/spanpairdata", analysis.Spanpair)
+	// Defer, all-branches close, obligation transfer, deferred literal
+	// and an annotated deliberate leak: silent.
+	analysistest.Run(t, "testdata/spanpair/ok", "repro/internal/apps/spanpairdata", analysis.Spanpair)
+}

@@ -1,0 +1,47 @@
+// Package affdata violates the castability contract: Cast results
+// escape their scope or are dereferenced unguarded, and Partition
+// bypasses the affinity model outside internal/upc. Each site must be
+// flagged. The stub types mirror upc.Shared and upc.Thread's method
+// shapes; the analyzer keys on method names, not import paths.
+package affdata
+
+type thread struct{}
+
+// Castable mirrors upc.Thread.Castable.
+func (*thread) Castable(owner int) bool { return owner == 0 }
+
+type shared struct{}
+
+// Cast mirrors upc.Shared.Cast: nil for non-castable owners.
+func (*shared) Cast(t *thread, owner int) []float64 { return nil }
+
+// Partition mirrors upc.Shared.Partition.
+func (*shared) Partition(owner int) []float64 { return nil }
+
+var global []float64
+
+var sink func() float64
+
+func storesGlobal(s *shared, th *thread) {
+	global = s.Cast(th, 1) // want "stored in package-level variable global"
+}
+
+func directDeref(s *shared, th *thread) float64 {
+	return s.Cast(th, 1)[0] // want "Cast result dereferenced without affinity check"
+}
+
+func unguarded(s *shared, th *thread) float64 {
+	p := s.Cast(th, 1) // want "Cast result p dereferenced without affinity check"
+	return p[0]
+}
+
+func escapes(s *shared, th *thread) {
+	p := s.Cast(th, 1)
+	if p != nil {
+		sink = func() float64 { return p[0] } // want "closure capturing Cast result p escapes"
+	}
+}
+
+func bypasses(s *shared) float64 {
+	return s.Partition(2)[0] // want "Partition bypasses the affinity model"
+}

@@ -1,0 +1,46 @@
+// Package affok uses Cast and Partition within the contract: nil and
+// len guards before dereference, an explicit Castable query, and an
+// annotated Partition. The affinity analyzer must stay silent.
+package affok
+
+type thread struct{}
+
+// Castable mirrors upc.Thread.Castable.
+func (*thread) Castable(owner int) bool { return owner == 0 }
+
+type shared struct{}
+
+// Cast mirrors upc.Shared.Cast: nil for non-castable owners.
+func (*shared) Cast(t *thread, owner int) []float64 { return nil }
+
+// Partition mirrors upc.Shared.Partition.
+func (*shared) Partition(owner int) []float64 { return nil }
+
+func nilGuarded(s *shared, th *thread) float64 {
+	p := s.Cast(th, 1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func lenGuarded(s *shared, th *thread) float64 {
+	p := s.Cast(th, 1)
+	if len(p) == 0 {
+		return 0
+	}
+	return p[0]
+}
+
+func castableFirst(s *shared, th *thread) float64 {
+	if !th.Castable(1) {
+		return 0
+	}
+	p := s.Cast(th, 1)
+	return p[0]
+}
+
+func annotatedPartition(s *shared) float64 {
+	//upcvet:affinity -- verification against the reference, outside the timed run
+	return s.Partition(1)[0]
+}

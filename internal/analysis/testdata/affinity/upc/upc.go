@@ -1,0 +1,12 @@
+// Package upcdata is type-checked as repro/internal/upc itself, where
+// Partition is implemented and exempt from the bypass rule.
+package upcdata
+
+type shared struct{}
+
+// Partition mirrors upc.Shared.Partition.
+func (*shared) Partition(owner int) []float64 { return nil }
+
+func insideUPC(s *shared) []float64 {
+	return s.Partition(1)
+}

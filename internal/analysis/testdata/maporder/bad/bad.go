@@ -1,0 +1,58 @@
+// Package maporderdata ranges over maps with order-sensitive bodies:
+// every loop here turns Go's randomized map iteration into output
+// nondeterminism — the ChromeWriter bug class — and must be flagged.
+package maporderdata
+
+import (
+	"bytes"
+	"fmt"
+)
+
+func printsDirectly(m map[string]int) {
+	for k, v := range m { // want "map iteration order reaches an ordered output .fmt.Println"
+		fmt.Println(k, v)
+	}
+}
+
+func writesBuffer(m map[string]int, buf *bytes.Buffer) {
+	for k := range m { // want "map iteration order reaches an ordered output .call to .WriteString"
+		buf.WriteString(k)
+	}
+}
+
+func appendsUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration order reaches an ordered output .append to keys"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func concatenates(m map[string]int) string {
+	out := ""
+	for k := range m { // want "map iteration order reaches an ordered output .string concatenation onto out"
+		out += k
+	}
+	return out
+}
+
+// emit is an order-sensitive sink one call away: the loop inherits its
+// effect transitively.
+func emit(k string) {
+	fmt.Println(k)
+}
+
+func callsEmitter(m map[string]int) {
+	for k := range m { // want "transitive emission via emit"
+		emit(k)
+	}
+}
+
+func callsClosure(m map[string]int) {
+	flush := func(k string) {
+		fmt.Println(k)
+	}
+	for k := range m { // want "transitive emission via closure flush"
+		flush(k)
+	}
+}

@@ -1,0 +1,29 @@
+// Package rawgodata uses raw Go concurrency in model code: goroutines,
+// channels and sync primitives outside internal/sim and internal/sweep.
+// Every construct here escapes the virtual clock and must be flagged.
+package rawgodata
+
+import (
+	"sync" // want "import of .sync. outside internal/sim and internal/sweep"
+)
+
+var mu sync.Mutex
+
+func spawns(work func()) {
+	go work() // want "raw go statement escapes the virtual clock"
+}
+
+func channels() int {
+	ch := make(chan int, 1) // want "channel construction outside internal/sim and internal/sweep"
+	ch <- 1                 // want "channel send blocks the OS thread"
+	return <-ch             // want "channel receive blocks the OS thread"
+}
+
+func selects(ch chan int) int {
+	select { // want "select blocks the OS thread"
+	case v := <-ch: // want "channel receive blocks the OS thread"
+		return v
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,19 @@
+// Package rawgodata is the same raw concurrency as the bad case, but
+// type-checked as internal/sim — the package that owns the coroutine
+// handoff. The rawgo analyzer must exempt it entirely.
+package rawgodata
+
+import (
+	"sync"
+)
+
+var mu sync.Mutex
+
+func spawns(work func()) {
+	done := make(chan struct{})
+	go func() {
+		work()
+		done <- struct{}{}
+	}()
+	<-done
+}

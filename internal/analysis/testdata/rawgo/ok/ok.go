@@ -1,0 +1,24 @@
+// Package rawgodata carries annotated, justified concurrency in a
+// non-exempt package: each construct wears //upcvet:rawgo, so the
+// analyzer must stay silent.
+package rawgodata
+
+import (
+	"sync" //upcvet:rawgo -- host-side memo cache, not simulated concurrency
+)
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[int]int{}
+)
+
+func memoized(k int, f func(int) int) int {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if v, ok := cache[k]; ok {
+		return v
+	}
+	v := f(k)
+	cache[k] = v
+	return v
+}

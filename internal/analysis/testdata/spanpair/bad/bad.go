@@ -1,0 +1,36 @@
+// Package spanpairdata opens trace spans it does not close on every
+// path: discarded closers, an early return that skips the closer, and
+// a merge that falls off the end still open. Each must be flagged. The
+// stub methods mirror sim.Proc's TraceSpan/TraceSpanArg shapes.
+package spanpairdata
+
+type proc struct{}
+
+// TraceSpan mirrors sim.Proc.TraceSpan.
+func (*proc) TraceSpan(cat, name string) func() { return func() {} }
+
+// TraceSpanArg mirrors sim.Proc.TraceSpanArg.
+func (*proc) TraceSpanArg(cat, name string, arg int64) func() { return func() {} }
+
+func discarded(p *proc) {
+	p.TraceSpan("upc", "barrier") // want "span closer discarded"
+}
+
+func discardedBlank(p *proc) {
+	_ = p.TraceSpan("upc", "barrier") // want "span closer discarded"
+}
+
+func leakOnReturn(p *proc, err bool) {
+	end := p.TraceSpan("upc", "put")
+	if err {
+		return // want "not called on this return path"
+	}
+	end()
+}
+
+func leakFallsOff(p *proc, n int) {
+	end := p.TraceSpanArg("upc", "get", 8) // want "not called before the function falls off the end"
+	if n > 0 {
+		end()
+	}
+}

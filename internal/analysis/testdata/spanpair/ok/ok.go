@@ -1,0 +1,44 @@
+// Package spanpairdata closes every span it opens: defer, all-branches
+// close, obligation transfer by returning the closer, a deferred
+// literal, and an annotated deliberate leak. The spanpair analyzer
+// must stay silent.
+package spanpairdata
+
+type proc struct{}
+
+// TraceSpan mirrors sim.Proc.TraceSpan.
+func (*proc) TraceSpan(cat, name string) func() { return func() {} }
+
+func deferred(p *proc) {
+	end := p.TraceSpan("upc", "barrier")
+	defer end()
+}
+
+func bothBranches(p *proc, err bool) {
+	end := p.TraceSpan("upc", "put")
+	if err {
+		end()
+		return
+	}
+	end()
+}
+
+func transferred(p *proc) func() {
+	end := p.TraceSpan("upc", "run")
+	return end
+}
+
+func deferredLiteral(p *proc) {
+	end := p.TraceSpan("upc", "fft")
+	defer func() {
+		end()
+	}()
+}
+
+func annotatedLeak(p *proc, n int) {
+	//upcvet:spanpair -- the caller closes this span through a side table
+	end := p.TraceSpan("upc", "steal")
+	if n > 0 {
+		end()
+	}
+}

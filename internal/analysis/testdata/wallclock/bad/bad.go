@@ -1,0 +1,46 @@
+// Package wallclockdata is seed-style simulation code that reads the
+// host clock, ambient randomness and the environment; the wallclock
+// analyzer must flag each site. Type-checked as a simulation-side
+// package ("repro/internal/apps/...").
+package wallclockdata
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func measure() time.Duration {
+	start := time.Now()          // want "time.Now reads the host clock"
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the host clock"
+	return time.Since(start)     // want "time.Since reads the host clock"
+}
+
+func pick(n int) int {
+	return rand.Intn(n) // want "rand.Intn uses ambient process-global randomness"
+}
+
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // locally owned generator: allowed
+	return r.Float64()
+}
+
+func configured() string {
+	return os.Getenv("THREADS") // want "os.Getenv makes simulation behavior depend on the host environment"
+}
+
+func annotated() time.Time {
+	return time.Now() //upcvet:wallclock -- suppressed: the annotation must silence the finding
+}
+
+// clock shadows the time import inside shadowed; the analyzer must
+// resolve the selector base to the local variable, not the package.
+type clock struct{}
+
+// Now is a virtual clock read, nothing to do with the host.
+func (clock) Now() int { return 0 }
+
+func shadowed() int {
+	time := clock{}
+	return time.Now() // not the time package: must not be flagged
+}

@@ -1,0 +1,20 @@
+// Package wallclockdata uses the host clock legitimately: the same
+// calls the bad case flags, but type-checked as a host-side package
+// ("repro/cmd/..."), where real benchmarking wants real clocks. The
+// analyzer must stay silent.
+package wallclockdata
+
+import (
+	"os"
+	"time"
+)
+
+func benchmark(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+func outputDir() string {
+	return os.Getenv("OUT")
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestWallclock(t *testing.T) {
+	// Seed-style host-clock reads in a simulation-side package: flagged,
+	// except the annotated and shadowed sites.
+	analysistest.Run(t, "testdata/wallclock/bad", "repro/internal/apps/wallclockdata", analysis.Wallclock)
+	// The same calls in a host-side package: exempt.
+	analysistest.Run(t, "testdata/wallclock/ok", "repro/cmd/wallclockdata", analysis.Wallclock)
+}

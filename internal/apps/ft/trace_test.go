@@ -1,6 +1,7 @@
 package ft
 
 import (
+	"sort"
 	"testing"
 
 	"repro/internal/perf"
@@ -28,12 +29,12 @@ func TestTracePhasesMatchFigure44(t *testing.T) {
 		if len(got) == 0 {
 			t.Fatalf("%v: no ft phase spans in the trace", variant)
 		}
-		for phase, want := range r.Phases {
-			if got[phase] != want {
-				t.Errorf("%v: trace phase %s = %v, Phases reports %v", variant, phase, got[phase], want)
+		for _, phase := range sortedKeys(r.Phases) {
+			if got[phase] != r.Phases[phase] {
+				t.Errorf("%v: trace phase %s = %v, Phases reports %v", variant, phase, got[phase], r.Phases[phase])
 			}
 		}
-		for phase := range got {
+		for _, phase := range sortedKeys(got) {
 			if _, ok := r.Phases[phase]; !ok {
 				t.Errorf("%v: trace has phase %s the result does not", variant, phase)
 			}
@@ -67,4 +68,15 @@ func TestTraceOverlapPhasesMatch(t *testing.T) {
 			t.Errorf("phase %s reported as empty", phase)
 		}
 	}
+}
+
+// sortedKeys returns the map's keys in sorted order, so comparison
+// failures print deterministically (the maporder invariant).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

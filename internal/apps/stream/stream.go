@@ -131,6 +131,7 @@ func RunTwisted(cfg TwistedConfig) (Result, error) {
 			// Real compute through the peer's segments; cost charged as
 			// three translated shared accesses per element plus the
 			// memory stream from the peer's socket.
+			//upcvet:affinity -- single-node PSHM config: every peer is castable by construction
 			pa, pb, pc := a.Cast(t, peer), b.Cast(t, peer), c.Cast(t, peer)
 			for i := 0; i < n; i++ {
 				pa[i] = pb[i] + triadScalar*pc[i]
@@ -149,6 +150,7 @@ func RunTwisted(cfg TwistedConfig) (Result, error) {
 			t.MemStream(bytesPerElem * int64(n))
 			upc.PutT(t, a, peer, 0, la)
 		case Cast:
+			//upcvet:affinity -- single-node PSHM config: every peer is castable by construction
 			pa, pb, pc := a.Cast(t, peer), b.Cast(t, peer), c.Cast(t, peer)
 			for i := 0; i < n; i++ {
 				pa[i] = pb[i] + triadScalar*pc[i]
@@ -157,6 +159,7 @@ func RunTwisted(cfg TwistedConfig) (Result, error) {
 		case OpenMPRef:
 			// Shared-memory reference: same twisted access, plain
 			// pointers, no PGAS layer at all.
+			//upcvet:affinity -- single-node PSHM config: every peer is castable by construction
 			pa, pb, pc := a.Cast(t, peer), b.Cast(t, peer), c.Cast(t, peer)
 			for i := 0; i < n; i++ {
 				pa[i] = pb[i] + triadScalar*pc[i]

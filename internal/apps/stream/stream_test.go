@@ -64,9 +64,12 @@ func TestTable41Shape(t *testing.T) {
 	if ratio := oneEight / full; ratio < 0.4 || ratio > 0.65 {
 		t.Errorf("1x8/full = %.2f, paper shows ~0.56", ratio)
 	}
-	for name, v := range map[string]float64{"2*4": twoFour, "4*2": fourTwo} {
-		if r := v / full; r < 0.9 || r > 1.1 {
-			t.Errorf("%s should match pure UPC: %.1f vs %.1f", name, v, full)
+	for _, tc := range []struct {
+		name string
+		v    float64
+	}{{"2*4", twoFour}, {"4*2", fourTwo}} {
+		if r := tc.v / full; r < 0.9 || r > 1.1 {
+			t.Errorf("%s should match pure UPC: %.1f vs %.1f", tc.name, tc.v, full)
 		}
 	}
 	if r := omp / full; r < 0.85 || r > 1.1 {

@@ -1,11 +1,23 @@
 package uts
 
 import (
+	"sort"
 	"testing"
 
 	"repro/internal/perf"
 	"repro/internal/trace"
 )
+
+// sortedCounterNames returns the counter names in sorted order, so
+// comparison failures print deterministically (the maporder invariant).
+func sortedCounterNames(c perf.Counters) []string {
+	names := make([]string, 0, len(c))
+	for name := range c {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
 
 func tracedConfig(tr trace.Tracer) Config {
 	return Config{
@@ -28,12 +40,12 @@ func TestTraceCountersMatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := perf.CountersFromTrace(col)
-	for name, want := range r.Counters {
-		if got.Get(name) != want {
-			t.Errorf("trace counter %s = %d, app counter = %d", name, got.Get(name), want)
+	for _, name := range sortedCounterNames(r.Counters) {
+		if got.Get(name) != r.Counters[name] {
+			t.Errorf("trace counter %s = %d, app counter = %d", name, got.Get(name), r.Counters[name])
 		}
 	}
-	for name := range got {
+	for _, name := range sortedCounterNames(got) {
 		if _, ok := r.Counters[name]; !ok {
 			t.Errorf("trace has counter %s the app does not", name)
 		}

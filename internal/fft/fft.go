@@ -9,7 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
-	"sync"
+	"sync" //upcvet:rawgo -- host-side memo cache, shared across sweep workers; not simulated concurrency
 )
 
 // twiddle tables are cached per size; guarded for callers that run

@@ -246,13 +246,16 @@ func TestPlaceGlobalCoreAndString(t *testing.T) {
 }
 
 func TestLevelString(t *testing.T) {
-	names := map[Level]string{
-		LevelSelf: "self", LevelSMT: "smt", LevelSocket: "socket",
-		LevelNode: "node", LevelRemote: "remote",
+	names := []struct {
+		level Level
+		want  string
+	}{
+		{LevelSelf, "self"}, {LevelSMT, "smt"}, {LevelSocket, "socket"},
+		{LevelNode, "node"}, {LevelRemote, "remote"},
 	}
-	for l, want := range names {
-		if got := l.String(); got != want {
-			t.Errorf("Level(%d).String() = %q, want %q", int(l), got, want)
+	for _, tc := range names {
+		if got := tc.level.String(); got != tc.want {
+			t.Errorf("Level(%d).String() = %q, want %q", int(tc.level), got, tc.want)
 		}
 	}
 }

@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"sort"
 	"testing"
 )
 
@@ -194,9 +195,19 @@ func TestChromeExportWellFormed(t *testing.T) {
 			}
 		}
 	}
-	for k, d := range depth {
-		if d != 0 {
-			t.Errorf("track %v: %d unclosed spans after export", k, d)
+	tracks := make([]track, 0, len(depth))
+	for k := range depth {
+		tracks = append(tracks, k)
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		if tracks[i].pid != tracks[j].pid {
+			return tracks[i].pid < tracks[j].pid
+		}
+		return tracks[i].tid < tracks[j].tid
+	})
+	for _, k := range tracks {
+		if depth[k] != 0 {
+			t.Errorf("track %v: %d unclosed spans after export", k, depth[k])
 		}
 	}
 	// Two KRunBegin boundaries must become two process groups.
