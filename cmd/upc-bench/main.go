@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/apps/stream"
+	"repro/internal/perf"
 	"repro/internal/simbench"
 )
 
@@ -85,6 +86,7 @@ func measure() map[string]record {
 	res := make(map[string]record, len(simbench.All))
 	for _, bm := range simbench.All {
 		best := record{NsPerOp: -1}
+		trials := make([]float64, 0, *runs)
 		for i := 0; i < *runs; i++ {
 			// Settle the heap so one benchmark's garbage is not collected
 			// on another's clock — the allocating benchmarks otherwise
@@ -92,13 +94,17 @@ func measure() map[string]record {
 			runtime.GC()
 			r := testing.Benchmark(bm.Fn)
 			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			trials = append(trials, ns)
 			if best.NsPerOp < 0 || ns < best.NsPerOp {
 				best = record{NsPerOp: ns, AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp()}
 			}
 		}
 		res[bm.Name] = best
-		fmt.Printf("%-20s %12.1f ns/op %8d B/op %6d allocs/op\n",
-			bm.Name, best.NsPerOp, best.BytesPerOp, best.AllocsPerOp)
+		// The minimum stays the recorded estimate; the trial percentiles
+		// show how noisy this machine made the measurement.
+		p10, med, p90 := perf.Percentiles(trials)
+		fmt.Printf("%-20s %12.1f ns/op %8d B/op %6d allocs/op  trials p10/med/p90 %.0f/%.0f/%.0f\n",
+			bm.Name, best.NsPerOp, best.BytesPerOp, best.AllocsPerOp, p10, med, p90)
 	}
 	return res
 }

@@ -3,15 +3,19 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/fabric"
 	"repro/internal/report"
 	"repro/internal/topo"
+	"repro/internal/tracecli"
 )
 
 func main() {
+	flag.Parse()
+	tracecli.Start()
 	var rows [][]string
 	for _, name := range topo.Presets() {
 		m, _ := topo.ByName(name)
@@ -43,4 +47,5 @@ func main() {
 	report.Table(os.Stdout, "Network conduit models",
 		[]string{"conduit", "latency", "overhead", "gap", "conn GB/s", "nic GB/s",
 			"loopback GB/s", "beta"}, rows)
+	tracecli.Finish()
 }

@@ -278,6 +278,7 @@ var simSidePackages = []string{
 	"repro/internal/apps",
 	"repro/internal/experiments",
 	"repro/internal/trace",
+	"repro/internal/metrics",
 	"repro/internal/fft",
 	"repro/internal/topo",
 	"repro/internal/perf",

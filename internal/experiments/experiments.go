@@ -99,6 +99,19 @@ func localStealPct(c *trace.Collector) float64 {
 	return 0
 }
 
+// stealSpread renders the per-thread steal-count spread of one run —
+// p10/median/p90 across threads, from the trace's per-proc steal
+// instants — so a strategy that concentrates stealing on a few threads
+// is visible next to the aggregate local-steal percentage.
+func stealSpread(c *trace.Collector) string {
+	counts := perf.Int64s(c.CountByProc("uts", "steal"))
+	if len(counts) == 0 {
+		return "-"
+	}
+	p10, med, p90 := perf.Percentiles(counts)
+	return fmt.Sprintf("%.0f/%.0f/%.0f", p10, med, p90)
+}
+
 // Figure33 regenerates Figure 3.3 (UTS parallel scalability on 16 nodes,
 // InfiniBand and Ethernet panels). Every conduit x strategy x size point
 // is an independent simulation; the sweep fans them out over the worker
@@ -187,11 +200,13 @@ func Table32(w io.Writer, quick bool) error {
 			fmt.Sprintf("%.1f%%", improve),
 			fmt.Sprintf("%.1f", localStealPct(base.col)),
 			fmt.Sprintf("%.1f", localStealPct(opt.col)),
+			stealSpread(opt.col),
 			paper[i][0], paper[i][1], paper[i][2],
 		})
 	}
 	report.Table(w, "Table 3.2: Profiling Results of UTS (16 nodes)",
 		[]string{"config", "improvement", "local% base", "local% opt",
+			"steals/thr p10/med/p90",
 			"paper-impr", "paper-base%", "paper-opt%"}, rows)
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Link is a bandwidth resource (bytes/second) shared by concurrent flows.
@@ -70,10 +71,17 @@ type Net struct {
 	flows []*FlowOp
 	last  sim.Time
 	epoch uint64
+	// util gates link-occupancy trace events (trace.CatLink, one per
+	// active-count change). Resolved once at construction from the
+	// engine's tracer: only sinks that opt in via trace.UtilObserver pay
+	// for the extra events, and the untraced hot path stays a bool check.
+	util bool
 }
 
 // NewNet creates a flow engine bound to e.
-func NewNet(e *sim.Engine) *Net { return &Net{eng: e} }
+func NewNet(e *sim.Engine) *Net {
+	return &Net{eng: e, util: trace.WantsUtil(e.Tracer())}
+}
 
 // Engine reports the owning simulation engine.
 func (n *Net) Engine() *sim.Engine { return n.eng }
@@ -124,10 +132,22 @@ func (n *Net) Start(size int64, cap float64, links ...*Link) *FlowOp {
 	n.account()
 	for _, l := range links {
 		l.active++
+		if n.util {
+			n.eng.TraceInstant(trace.CatLink, l.Name, "", int64(l.active), l.capacityArg())
+		}
 	}
 	n.flows = append(n.flows, f)
 	n.reschedule()
 	return f
+}
+
+// capacityArg reports the link capacity rounded to int64 for occupancy
+// events (0 for infinitely fast links).
+func (l *Link) capacityArg() int64 {
+	if l.Capacity <= 0 || math.IsInf(l.Capacity, 1) {
+		return 0
+	}
+	return int64(l.Capacity)
 }
 
 // Transfer is the blocking form of Start.
@@ -189,6 +209,9 @@ func (n *Net) reschedule() {
 			if f.remaining <= eps {
 				for _, l := range f.links {
 					l.active--
+					if n.util {
+						n.eng.TraceInstant(trace.CatLink, l.Name, "", int64(l.active), l.capacityArg())
+					}
 				}
 				finished = append(finished, f)
 			} else {

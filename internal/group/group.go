@@ -129,6 +129,7 @@ func (g *Group) OnOneNode() bool {
 // Barrier synchronizes the group's members only, at the dissemination cost
 // of the nodes the group spans (cheap for an intra-node group).
 func (g *Group) Barrier() {
+	end := g.T.P.TraceSpanArg("group", "barrier", "", int64(g.st.n))
 	st := g.st
 	ev := st.ev
 	st.notified++
@@ -138,11 +139,14 @@ func (g *Group) Barrier() {
 		g.T.Runtime().Eng.After(st.cost, ev.Fire)
 	}
 	ev.Wait(g.T.P)
+	end()
 }
 
 // collective runs one group-scoped rendezvous (same machinery as the
 // global collectives, keyed per group).
 func (g *Group) collective(val any, combine func([]any) any) any {
+	end := g.T.P.TraceSpanArg("group", "collective", "", int64(g.st.n))
+	defer end()
 	st := g.st
 	seq := st.collSeq[g.T.ID]
 	st.collSeq[g.T.ID] = seq + 1

@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"repro/internal/trace"
+)
+
+// Collection bundles the registry and the three trace-fed collectors
+// behind one trace.Tracer, and tracks the stream-level facts a manifest
+// records: run count, seeds, event count, digest, total virtual time.
+// Attach it to a trace session (Session.Attach) so it rides the same
+// serialized, replay-ordered stream as the digest — that is what makes
+// -metrics manifests byte-identical at any -parallel level.
+//
+// Collection opts into link-occupancy events (trace.UtilObserver), so
+// installing one enables the fabric's CatLink emissions for the whole
+// sink chain of the engines built afterwards.
+type Collection struct {
+	Reg  *Registry
+	Comm *CommMatrix
+	Util *UtilTimelines
+	Prof *Profile
+
+	dg        *trace.Digest
+	runs      int64
+	seeds     []int64
+	curMax    int64 // latest virtual time seen in the current run
+	totalNS   int64 // summed final times of completed runs
+	finalized bool
+}
+
+// NewCollection returns an empty collection.
+func NewCollection() *Collection {
+	return &Collection{
+		Reg:  NewRegistry(),
+		Comm: NewCommMatrix(),
+		Util: NewUtilTimelines(),
+		Prof: NewProfile(),
+		dg:   trace.NewDigest(),
+	}
+}
+
+// ObserveUtil opts the collection into link-occupancy events.
+func (c *Collection) ObserveUtil() bool { return true }
+
+// Emit aggregates one event.
+func (c *Collection) Emit(e trace.Event) {
+	c.dg.Emit(e)
+	if e.Time > c.curMax {
+		c.curMax = e.Time
+	}
+	switch e.Kind {
+	case trace.KRunBegin:
+		c.endRun()
+		c.runs++
+		c.addSeed(e.Arg)
+	case trace.KSpanBegin, trace.KSpanEnd:
+		c.Prof.Record(e)
+	case trace.KInstant:
+		switch e.Cat {
+		case trace.CatComm:
+			c.Comm.Record(e)
+			c.Reg.Add("comm."+e.Name+".msgs", 1)
+			c.Reg.Add("comm."+e.Name+".bytes", e.Arg)
+			c.Reg.Observe("comm.size."+e.Aux, e.Arg)
+		case trace.CatLink:
+			c.Util.Record(e)
+			c.Reg.SetMax("util.peak."+e.Name, e.Arg)
+		default:
+			k := "instant." + e.Cat + "/" + e.Name
+			c.Reg.Add(k+".n", 1)
+			c.Reg.Add(k+".sum", e.Arg)
+		}
+	case trace.KCounter:
+		c.Reg.Add("counter."+e.Name, e.Arg)
+	case trace.KProcSpawn:
+		c.Reg.Add("procs.spawned", 1)
+	case trace.KProcExit:
+		c.Reg.Add("procs.exited", 1)
+	}
+}
+
+// endRun closes out the current run's per-run state.
+func (c *Collection) endRun() {
+	c.totalNS += c.curMax
+	c.Util.EndRun(c.curMax)
+	c.Prof.EndRun()
+	c.curMax = 0
+}
+
+// addSeed records a run seed, keeping the distinct values in
+// first-seen order (sweeps reuse one seed; a distinct-seeds study
+// records each).
+func (c *Collection) addSeed(seed int64) {
+	for _, s := range c.seeds {
+		if s == seed {
+			return
+		}
+	}
+	if len(c.seeds) < 64 {
+		c.seeds = append(c.seeds, seed)
+	}
+}
+
+// Runs reports the number of runs observed so far.
+func (c *Collection) Runs() int64 { return c.runs }
+
+// Events reports the number of events observed so far.
+func (c *Collection) Events() int64 { return c.dg.Events() }
+
+// Digest reports the order-sensitive hash of the observed stream; it
+// matches the trace session's digest because both consume the same
+// serialized event sequence.
+func (c *Collection) Digest() uint64 { return c.dg.Sum64() }
+
+// VirtualNS reports the summed final virtual time across runs,
+// including the still-open one.
+func (c *Collection) VirtualNS() int64 { return c.totalNS + c.curMax }
+
+// Manifest finalizes the collection and builds the run manifest. Call
+// once, after the last simulation finished; further events would
+// land in closed-out aggregations.
+func (c *Collection) Manifest(tool string, params map[string]string) *Manifest {
+	if !c.finalized {
+		c.finalized = true
+		c.endRun()
+	}
+	return &Manifest{
+		Tool:       tool,
+		Params:     params,
+		Runs:       c.runs,
+		Seeds:      append([]int64(nil), c.seeds...),
+		Events:     c.dg.Events(),
+		Digest:     c.dg.String(),
+		VirtualNS:  c.totalNS,
+		Counters:   c.Reg.Counters(),
+		Gauges:     c.Reg.Gauges(),
+		Histograms: c.Reg.Histograms(),
+		Comm:       c.Comm.Export(),
+		Util:       c.Util.Export(),
+		Profile:    c.Prof.Export(),
+	}
+}

@@ -172,7 +172,23 @@ func (c *Comm) World() *World { return c.w }
 func (c *Comm) transfer(dst int, bytes int64, apply func()) *fabric.NetOp {
 	w := c.w
 	dstPlace := w.places[dst]
-	if topo.SameNode(c.Place, dstPlace) {
+	sameNode := topo.SameNode(c.Place, dstPlace)
+	if w.Eng.Tracing() {
+		// One comm-matrix instant per send: the sm transport classifies as
+		// shared memory, everything else as conduit traffic (an MPI rank
+		// never takes the network loopback — the library always picks sm
+		// within a node).
+		class := trace.ClassNetwork
+		switch {
+		case dst == c.Rank:
+			class = trace.ClassSelf
+		case sameNode:
+			class = trace.ClassPSHM
+		}
+		c.P.TraceInstant(trace.CatComm, "send", class, bytes,
+			trace.PackEndpoints(c.Rank, dst, c.Place.Node, dstPlace.Node))
+	}
+	if sameNode {
 		return w.Cluster.MemCopyAsync(c.P, c.Place, dstPlace, bytes, smOverhead, apply)
 	}
 	return c.ep.PutAsync(c.P, w.eps[dst], bytes, apply)

@@ -160,3 +160,45 @@ func Mean(xs []float64) float64 {
 	}
 	return sum / float64(len(xs))
 }
+
+// Quantile reports the q-quantile (0 <= q <= 1) of a sample set by
+// linear interpolation between order statistics (the convention most
+// numeric packages default to); Quantile(xs, 0.5) equals Median(xs).
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if frac == 0 || lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo] + frac*(s[lo+1]-s[lo])
+}
+
+// Percentiles reports the 10th percentile, median and 90th percentile
+// of a sample set — the spread the benchmark tables quote alongside the
+// median-of-trials, so a skewed trial distribution is visible instead
+// of hiding behind one number.
+func Percentiles(xs []float64) (p10, med, p90 float64) {
+	return Quantile(xs, 0.10), Quantile(xs, 0.50), Quantile(xs, 0.90)
+}
+
+// Int64s converts integer samples (per-thread counts from a trace
+// collector, ns/op trials) to the float64 samples the statistics take.
+func Int64s(xs []int64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

@@ -79,14 +79,22 @@ func Run(n int, job func(i int, tr trace.Tracer) error) error {
 	tracers := make([]trace.Tracer, n)
 	bufs := make([]*trace.Buffer, n)
 	if saved != nil {
+		// The buffers must advertise the real sink's opt-in capabilities
+		// (per-advance clocks, link occupancy): the engines only see the
+		// buffer, and an unwrapped one would silently drop those events
+		// from the replayed — and digested — stream.
 		clocked := trace.WantsClock(saved)
+		util := trace.WantsUtil(saved)
 		for i := range bufs {
 			bufs[i] = trace.NewBuffer()
+			t := trace.Tracer(bufs[i])
 			if clocked {
-				tracers[i] = trace.Clocked(bufs[i])
-			} else {
-				tracers[i] = bufs[i]
+				t = trace.Clocked(t)
 			}
+			if util {
+				t = trace.Utiled(t)
+			}
+			tracers[i] = t
 		}
 	}
 

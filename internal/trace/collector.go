@@ -13,9 +13,10 @@ import (
 // breakdowns, message counts — derived from the trace rather than from
 // ad-hoc counting in the apps.
 type Collector struct {
-	counts   map[string]int64 // instant/lifecycle occurrences by cat/name
-	sums     map[string]int64 // sum of Arg over instants by cat/name
-	counters map[string]int64 // KCounter totals by bare counter name
+	counts   map[string]int64           // instant/lifecycle occurrences by cat/name
+	sums     map[string]int64           // sum of Arg over instants by cat/name
+	instProc map[string]map[int32]int64 // instant occurrences by cat/name per proc
+	counters map[string]int64           // KCounter totals by bare counter name
 	spans    map[string]*SpanStat
 	open     map[int32][]openSpan
 	events   int64
@@ -56,6 +57,7 @@ func NewCollector() *Collector {
 	return &Collector{
 		counts:   map[string]int64{},
 		sums:     map[string]int64{},
+		instProc: map[string]map[int32]int64{},
 		counters: map[string]int64{},
 		spans:    map[string]*SpanStat{},
 		open:     map[int32][]openSpan{},
@@ -83,6 +85,12 @@ func (c *Collector) Emit(e Event) {
 		k := key(e.Cat, e.Name)
 		c.counts[k]++
 		c.sums[k] += e.Arg
+		pp := c.instProc[k]
+		if pp == nil {
+			pp = map[int32]int64{}
+			c.instProc[k] = pp
+		}
+		pp[e.Proc]++
 	case KCounter:
 		c.counters[e.Name] += e.Arg
 	case KProcSpawn, KProcPark, KProcUnpark, KProcExit:
@@ -116,6 +124,28 @@ func (c *Collector) Count(cat, name string) int64 { return c.counts[key(cat, nam
 
 // Sum reports the summed Arg over instants of cat/name.
 func (c *Collector) Sum(cat, name string) int64 { return c.sums[key(cat, name)] }
+
+// CountByProc reports, per emitting process, how many instants of
+// cat/name were seen. The returned slice is ordered by ascending process
+// id, so consumers stay deterministic without sorting map keys
+// themselves; feed the counts to perf.Quantile for per-thread
+// distribution stats (the Table 3.2 percentile columns).
+func (c *Collector) CountByProc(cat, name string) []int64 {
+	pp := c.instProc[key(cat, name)]
+	if len(pp) == 0 {
+		return nil
+	}
+	procs := make([]int, 0, len(pp))
+	for p := range pp {
+		procs = append(procs, int(p))
+	}
+	sort.Ints(procs)
+	out := make([]int64, len(procs))
+	for i, p := range procs {
+		out[i] = pp[int32(p)]
+	}
+	return out
+}
 
 // Counter reports the named counter's total.
 func (c *Collector) Counter(name string) int64 { return c.counters[name] }

@@ -1,0 +1,58 @@
+package trace
+
+// Communication-matrix event vocabulary. The model layers that initiate
+// logical transfers (the upc runtime's one-sided paths, mpi's transport)
+// emit one KInstant in category CatComm per transfer, carrying the byte
+// volume in Arg and the packed endpoint pair in Arg2. Aux classifies the
+// path the configured runtime took — the distinction the paper's
+// hierarchy argument rests on: direct shared memory (PSHM or pthreads),
+// network loopback through the HCA, or the network conduit. The metrics
+// comm-matrix collector aggregates these events to thread-, group- and
+// node-granularity; the fields here are the contract between emitters
+// and that collector.
+const (
+	// CatComm is the event category of communication-matrix instants.
+	CatComm = "comm"
+	// CatLink is the event category of link-occupancy instants (Name is
+	// the link name, Arg the active flow count after the change). Emitted
+	// only when the installed sink opts in via UtilObserver.
+	CatLink = "link"
+)
+
+// Path classes of a CatComm event's Aux field.
+const (
+	// ClassSelf is a thread's transfer to its own partition (a local
+	// memcpy through a cast pointer).
+	ClassSelf = "self"
+	// ClassPSHM is a same-node transfer through shared memory (the PSHM
+	// segment of the process backend, or the common address space of the
+	// pthreads backend; mpi's sm transport classifies here too).
+	ClassPSHM = "pshm"
+	// ClassLoopback is a same-node transfer that still crosses the NIC
+	// (process backend without PSHM) — exactly the traffic PSHM avoids.
+	ClassLoopback = "loopback"
+	// ClassNetwork is a cross-node transfer on the conduit.
+	ClassNetwork = "network"
+)
+
+// endpointMask limits each packed endpoint coordinate to 16 bits: 65536
+// threads or nodes, far above any modeled machine.
+const endpointMask = 0xffff
+
+// PackEndpoints encodes a transfer's logical endpoints — source and
+// destination thread (or rank) plus their nodes — into one int64 for a
+// CatComm event's Arg2.
+func PackEndpoints(srcThread, dstThread, srcNode, dstNode int) int64 {
+	return int64(srcThread&endpointMask)<<48 |
+		int64(dstThread&endpointMask)<<32 |
+		int64(srcNode&endpointMask)<<16 |
+		int64(dstNode&endpointMask)
+}
+
+// UnpackEndpoints decodes a packed endpoint pair.
+func UnpackEndpoints(v int64) (srcThread, dstThread, srcNode, dstNode int) {
+	return int(v >> 48 & endpointMask),
+		int(v >> 32 & endpointMask),
+		int(v >> 16 & endpointMask),
+		int(v & endpointMask)
+}

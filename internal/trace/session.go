@@ -44,6 +44,16 @@ func StartSession(path string) *Session {
 // after StartSession to fail fast on a bad path.
 func (s *Session) Err() error { return s.err }
 
+// Attach adds another sink to the session's process-default chain (the
+// -metrics collectors ride the same stream as the digest). Call between
+// StartSession and the first simulation; Close removes it along with the
+// session's own sinks.
+func (s *Session) Attach(t Tracer) {
+	if t != nil {
+		SetDefault(Tee(Default(), t))
+	}
+}
+
 // Close restores the previous default tracer and writes the trace file.
 func (s *Session) Close() error {
 	SetDefault(s.prev)

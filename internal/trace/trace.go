@@ -121,12 +121,36 @@ func WantsClock(t Tracer) bool {
 	return false
 }
 
-// clocked marks a sink as wanting KClock events.
-type clocked struct {
-	Tracer
+// UtilObserver is the opt-in capability for link-occupancy events: one
+// KInstant in category CatLink per fabric-link active-count change. Like
+// clocks these are high-frequency (every flow start and finish touches
+// every link it crosses), so the fabric asks the sink first and skips the
+// emission unless the installed tracer implements this interface and
+// returns true. The metrics utilization collector is the one built-in
+// sink that asks for them; wrap any other sink in Utiled to request them.
+type UtilObserver interface {
+	ObserveUtil() bool
 }
 
-func (clocked) ObserveClock() bool { return true }
+// WantsUtil reports whether t opted into link-occupancy events.
+func WantsUtil(t Tracer) bool {
+	if uo, ok := t.(UtilObserver); ok {
+		return uo.ObserveUtil()
+	}
+	return false
+}
+
+// caps wraps a sink with additional opt-in capabilities. Capabilities the
+// wrapper does not grant itself are delegated to the wrapped sink, so
+// Clocked and Utiled compose in either order.
+type caps struct {
+	Tracer
+	clock bool
+	util  bool
+}
+
+func (c caps) ObserveClock() bool { return c.clock || WantsClock(c.Tracer) }
+func (c caps) ObserveUtil() bool  { return c.util || WantsUtil(c.Tracer) }
 
 // Clocked wraps t so engines emit per-advance KClock events into it
 // (full-fidelity mode: every clock move appears in the stream).
@@ -134,7 +158,16 @@ func Clocked(t Tracer) Tracer {
 	if t == nil {
 		return nil
 	}
-	return clocked{t}
+	return caps{Tracer: t, clock: true}
+}
+
+// Utiled wraps t so fabrics emit link-occupancy events into it (see
+// UtilObserver).
+func Utiled(t Tracer) Tracer {
+	if t == nil {
+		return nil
+	}
+	return caps{Tracer: t, util: true}
 }
 
 // multi fans events out to several sinks.
@@ -150,6 +183,17 @@ func (m multi) Emit(e Event) {
 func (m multi) ObserveClock() bool {
 	for _, t := range m {
 		if WantsClock(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// ObserveUtil reports whether any fanned-out sink wants link-occupancy
+// events.
+func (m multi) ObserveUtil() bool {
+	for _, t := range m {
+		if WantsUtil(t) {
 			return true
 		}
 	}

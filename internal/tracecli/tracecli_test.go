@@ -1,0 +1,182 @@
+package tracecli
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+)
+
+// appFlag stands in for an application flag whose value must land in
+// the manifest's params.
+var appFlag = flag.String("tracecli-test-n", "", "test-only app flag")
+
+// setFlags applies flag values for one subtest and restores them after.
+func setFlags(t *testing.T, kv map[string]string) {
+	t.Helper()
+	names := make([]string, 0, len(kv))
+	for k := range kv {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		old := flag.Lookup(k).Value.String()
+		if err := flag.Set(k, kv[k]); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { flag.Set(k, old) })
+	}
+}
+
+// runOne drives one tiny simulation through the process-default tracer.
+func runOne(t *testing.T, seed int64) {
+	t.Helper()
+	eng := sim.New(seed)
+	eng.Go("worker", func(p *sim.Proc) {
+		end := p.TraceSpan("test", "phase")
+		p.Advance(100)
+		p.TraceInstant(trace.CatComm, "put", trace.ClassSelf, 64, trace.PackEndpoints(0, 0, 0, 0))
+		end()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartIsNoOpWithoutFlags(t *testing.T) {
+	setFlags(t, map[string]string{"parallel": "3"})
+	if err := start(); err != nil {
+		t.Fatal(err)
+	}
+	if sess != nil {
+		t.Error("session started without any tracing flag")
+	}
+	if got := sweep.Workers(); got != 3 {
+		t.Errorf("workers = %d, want 3 (Start must apply -parallel)", got)
+	}
+	var b strings.Builder
+	if err := finish(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("finish printed %q without a session", b.String())
+	}
+}
+
+func TestDigestLine(t *testing.T) {
+	setFlags(t, map[string]string{"digest": "true", "parallel": "1"})
+	if err := start(); err != nil {
+		t.Fatal(err)
+	}
+	runOne(t, 7)
+	var b strings.Builder
+	if err := finish(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "TraceDigest: ") {
+		t.Fatalf("digest line = %q", out)
+	}
+	if trace.Default() != nil {
+		t.Error("finish left a default tracer installed")
+	}
+
+	// Same seed, same digest line.
+	if err := start(); err != nil {
+		t.Fatal(err)
+	}
+	runOne(t, 7)
+	var b2 strings.Builder
+	if err := finish(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Errorf("same-seed digest lines differ:\n%q\n%q", out, b2.String())
+	}
+}
+
+func TestMetricsExport(t *testing.T) {
+	mpath := filepath.Join(t.TempDir(), "m.json")
+	setFlags(t, map[string]string{
+		"metrics": mpath, "parallel": "1", "tracecli-test-n": "64",
+	})
+	if err := start(); err != nil {
+		t.Fatal(err)
+	}
+	if sess == nil || coll == nil {
+		t.Fatal("-metrics must start a session with an attached collection")
+	}
+	if !trace.WantsUtil(trace.Default()) {
+		t.Error("default tracer chain must inherit the collection's util opt-in")
+	}
+	runOne(t, 11)
+	var b strings.Builder
+	if err := finish(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "TraceDigest: ") {
+		t.Errorf("metrics run must still print the digest line, got %q", b.String())
+	}
+
+	m, err := metrics.Load(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Runs != 1 || m.Seeds[0] != 11 {
+		t.Errorf("manifest runs=%d seeds=%v", m.Runs, m.Seeds)
+	}
+	if m.Comm == nil || m.Comm.Classes[0].Class != trace.ClassSelf || m.Comm.Classes[0].Bytes != 64 {
+		t.Errorf("manifest comm = %+v", m.Comm)
+	}
+	if m.Profile == nil || m.Profile.Phases[0].Name != "test/phase" {
+		t.Errorf("manifest profile = %+v", m.Profile)
+	}
+	if got := m.Params["tracecli-test-n"]; got != "64" {
+		t.Errorf("params[tracecli-test-n] = %q, want 64", got)
+	}
+	recorded := make([]string, 0, len(m.Params))
+	for k := range m.Params {
+		recorded = append(recorded, k)
+	}
+	sort.Strings(recorded)
+	for _, k := range recorded {
+		switch k {
+		case "trace", "digest", "metrics", "parallel":
+			t.Errorf("harness flag %q leaked into params", k)
+		}
+		if strings.HasPrefix(k, "test.") {
+			t.Errorf("go-test flag %q leaked into params", k)
+		}
+	}
+	// The digest the manifest records is the session's.
+	if !strings.Contains(b.String(), m.Digest) {
+		t.Errorf("manifest digest %s not in digest line %q", m.Digest, b.String())
+	}
+}
+
+func TestStartFailsOnBadTracePath(t *testing.T) {
+	setFlags(t, map[string]string{
+		"trace": filepath.Join(t.TempDir(), "missing-dir", "t.json"),
+	})
+	if err := start(); err == nil {
+		t.Fatal("start succeeded with an unwritable trace path")
+	}
+	if sess != nil {
+		t.Error("failed start left a session behind")
+	}
+	if trace.Default() != nil {
+		t.Error("failed start left a default tracer installed")
+	}
+}
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	os.Exit(m.Run())
+}

@@ -4,6 +4,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/sim"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // Per-operation software overheads of the intra-node shared-memory paths,
@@ -204,6 +205,32 @@ func (t *Thread) GetBytes(src int, bytes int64) {
 	t.getBytes(src, bytes, nil).WaitRemote(t.P)
 }
 
+// pathClass reports the comm-matrix class of a transfer between this
+// thread and peer — the path putBytes/getBytes will take.
+func (t *Thread) pathClass(peer int) string {
+	switch {
+	case peer == t.ID:
+		return trace.ClassSelf
+	case !topo.SameNode(t.Place, t.rt.places[peer]):
+		return trace.ClassNetwork
+	case t.rt.Cfg.sharedMem():
+		return trace.ClassPSHM
+	default:
+		return trace.ClassLoopback
+	}
+}
+
+// traceComm emits one communication-matrix instant for a transfer whose
+// data flows from thread `from` to thread `to` (see trace.CatComm). The
+// packing work is skipped entirely on the untraced fast path.
+func (t *Thread) traceComm(op string, from, to int, bytes int64, class string) {
+	if !t.rt.Eng.Tracing() {
+		return
+	}
+	t.P.TraceInstant(trace.CatComm, op, class, bytes,
+		trace.PackEndpoints(from, to, t.rt.places[from].Node, t.rt.places[to].Node))
+}
+
 // putBytes moves bytes toward thread dst and applies the payload closure
 // at completion. It picks the path the configured runtime would use:
 // direct shared-memory copy (pthreads / PSHM) on one node, the network
@@ -211,6 +238,7 @@ func (t *Thread) GetBytes(src int, bytes int64) {
 func (t *Thread) putBytes(dst int, bytes int64, apply func()) *fabric.NetOp {
 	rt := t.rt
 	dstPlace := rt.places[dst]
+	t.traceComm("put", t.ID, dst, bytes, t.pathClass(dst))
 	if dst == t.ID {
 		return rt.Cluster.MemCopyAsync(t.P, t.Place, dstPlace, bytes, castOverhead, apply)
 	}
@@ -225,6 +253,7 @@ func (t *Thread) putBytes(dst int, bytes int64, apply func()) *fabric.NetOp {
 func (t *Thread) getBytes(src int, bytes int64, apply func()) *fabric.NetOp {
 	rt := t.rt
 	srcPlace := rt.places[src]
+	t.traceComm("get", src, t.ID, bytes, t.pathClass(src))
 	if src == t.ID {
 		return rt.Cluster.MemCopyAsync(t.P, srcPlace, t.Place, bytes, castOverhead, apply)
 	}
