@@ -271,6 +271,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 var simSidePackages = []string{
 	"repro/internal/sim",
 	"repro/internal/fabric",
+	"repro/internal/fault",
 	"repro/internal/upc",
 	"repro/internal/subthread",
 	"repro/internal/mpi",

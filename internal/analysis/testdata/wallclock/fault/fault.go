@@ -1,0 +1,35 @@
+// Package faultdata is seed-style fault-injection code; type-checked as
+// "repro/internal/fault", where the wallclock analyzer applies its
+// strict randomness rule: even the seeded-constructor pattern allowed
+// elsewhere is flagged, because every fault-probability draw must come
+// off the engine's PRNG for (seed, schedule) reproducibility.
+package faultdata
+
+import (
+	"math/rand"
+	"time"
+)
+
+func ambient(n int) int {
+	return rand.Intn(n) // want "rand.Intn in internal/fault: fault-probability draws must come from the engine's seeded PRNG"
+}
+
+func privateGenerator(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // want "rand.New in internal/fault" "rand.NewSource in internal/fault"
+	return r.Float64()
+}
+
+func hostClock() time.Time {
+	return time.Now() // want "time.Now reads the host clock"
+}
+
+// drawer mimics the legitimate pattern: the injector holds the engine's
+// generator and draws from it. Method calls on a *rand.Rand value are
+// not constructor calls and must not be flagged.
+type drawer struct {
+	rng *rand.Rand
+}
+
+func (d *drawer) draw(p float64) bool {
+	return d.rng.Float64() < p
+}

@@ -1,6 +1,9 @@
 package analysis
 
-import "go/ast"
+import (
+	"go/ast"
+	"strings"
+)
 
 // Wallclock flags host-clock and host-environment reads in
 // simulation-side packages. The simulation's only clock is the engine's
@@ -43,6 +46,21 @@ var wallclockEnvFuncs = map[string]bool{
 	"Getenv": true, "LookupEnv": true, "Environ": true,
 }
 
+// faultPkg is the fault-injection package, held to a stricter randomness
+// rule: even the seeded-constructor pattern is banned there. Every
+// fault-probability draw must come off the engine's own PRNG
+// (sim.Engine.Rand) — a private generator, however seeded, would let the
+// injector's decisions drift from the (seed, schedule) contract that
+// makes chaos runs bit-reproducible.
+const faultPkg = "repro/internal/fault"
+
+// strictRand reports whether the package forbids constructing any
+// math/rand generator at all.
+func strictRand(path string) bool {
+	path = strings.TrimSuffix(path, "_test")
+	return path == faultPkg || strings.HasPrefix(path, faultPkg+"/")
+}
+
 func runWallclock(pass *Pass) error {
 	if !SimSide(pass.Path) {
 		return nil
@@ -65,7 +83,10 @@ func runWallclock(pass *Pass) error {
 						"time.%s reads the host clock; simulation code must use virtual time (sim.Engine.Now / Proc.Sleep)", name)
 				}
 			case "math/rand", "math/rand/v2":
-				if !wallclockRandOK[name] {
+				if strictRand(pass.Path) {
+					pass.ReportAnnotatable(call.Pos(),
+						"rand.%s in internal/fault: fault-probability draws must come from the engine's seeded PRNG (sim.Engine.Rand), not a private generator", name)
+				} else if !wallclockRandOK[name] {
 					pass.ReportAnnotatable(call.Pos(),
 						"rand.%s uses ambient process-global randomness; use a seeded rand.New(rand.NewSource(seed)) owned by the run", name)
 				}

@@ -13,4 +13,7 @@ func TestWallclock(t *testing.T) {
 	analysistest.Run(t, "testdata/wallclock/bad", "repro/internal/apps/wallclockdata", analysis.Wallclock)
 	// The same calls in a host-side package: exempt.
 	analysistest.Run(t, "testdata/wallclock/ok", "repro/cmd/wallclockdata", analysis.Wallclock)
+	// The fault-injection package: strict rule, even seeded private
+	// generators are flagged (draws must use the engine's PRNG).
+	analysistest.Run(t, "testdata/wallclock/fault", "repro/internal/fault", analysis.Wallclock)
 }

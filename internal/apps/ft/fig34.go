@@ -116,8 +116,11 @@ func RunExchange(cfg ExchangeConfig) (ExchangeResult, error) {
 		put := func(dst int) *upc.Handle {
 			if cast && t.Castable(dst) && dst != t.ID {
 				rt := t.Runtime()
-				op := rt.Cluster.MemCopyAsync(t.P, t.Place, rt.PlaceOf(dst), blockBytes,
+				op, err := rt.Cluster.MemCopyAsync(t.P, t.Place, rt.PlaceOf(dst), blockBytes,
 					60*sim.Nanosecond, nil)
+				if err != nil {
+					panic(err) // unreachable: Castable implies same node
+				}
 				return upc.HandleFor(op)
 			}
 			return t.PutBytesAsync(dst, blockBytes)

@@ -357,10 +357,12 @@ func (w *upcWorker) putBlock(dst, dstOff, srcOff, nElems int) *upc.Handle {
 		// The manual optimization: cast the destination pointer and issue
 		// a plain memcpy instead of upc_memput.
 		rt := w.t.Runtime()
-		op := rt.Cluster.MemCopyAsync(w.t.P, w.t.Place, rt.PlaceOf(dst), bytes,
+		op, err := rt.Cluster.MemCopyAsync(w.t.P, w.t.Place, rt.PlaceOf(dst), bytes,
 			60*sim.Nanosecond, nil)
-		h := upc.HandleFor(op)
-		return h
+		if err != nil {
+			panic(err) // unreachable: Castable implies same node
+		}
+		return upc.HandleFor(op)
 	}
 	return w.t.PutBytesAsync(dst, bytes)
 }

@@ -1,0 +1,91 @@
+package uts
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// crashRun executes a traversal that loses node 1 (4 of 16 workers)
+// mid-run. Run itself verifies the survivors still count the exact tree.
+func crashRun(t *testing.T) Result {
+	t.Helper()
+	r, err := Run(Config{
+		Machine:     topo.Pyramid(),
+		Threads:     16,
+		PerNode:     4,
+		Strategy:    LocalRapid,
+		Granularity: 8,
+		Tree:        Small(60000),
+		Seed:        1,
+		Faults: &fault.Schedule{Name: "crash-node-1", Actions: []fault.Action{
+			{Op: fault.OpCrash, At: 0.001, Node: 1, Src: -1, Dst: -1},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestCrashMidRunSurvivorsCountExactTree is the acceptance scenario: a
+// whole node dies mid-traversal, its unfinished work is re-rooted on the
+// survivors, and the total node count still matches the sequential walk.
+func TestCrashMidRunSurvivorsCountExactTree(t *testing.T) {
+	r := crashRun(t)
+	if r.Elapsed <= sim.Duration(sim.Millisecond) {
+		t.Fatalf("run ended at %v, before the scheduled crash — grow the tree", r.Elapsed)
+	}
+	if got := r.Counters.Get("failovers"); got != 4 {
+		t.Errorf("failovers = %d, want 4 (one per worker on the dead node)", got)
+	}
+	if r.Counters.Get("orphans_taken") == 0 {
+		t.Error("survivors adopted no orphaned work despite mid-run crash")
+	}
+}
+
+// TestCrashRunDeterministic repeats the crash scenario: identical
+// (seed, schedule) must reproduce the virtual timeline and every counter.
+func TestCrashRunDeterministic(t *testing.T) {
+	a := crashRun(t)
+	b := crashRun(t)
+	if a.Elapsed != b.Elapsed || a.Counters.String() != b.Counters.String() {
+		t.Errorf("crash replays differ:\n%v %v\n%v %v", a.Elapsed, a.Counters, b.Elapsed, b.Counters)
+	}
+}
+
+// TestMessageChaosKeepsCountExact runs under a lossy, duplicating,
+// delaying schedule with no crashes: the self-healing steal path must
+// deliver the exact count, deterministically.
+func TestMessageChaosKeepsCountExact(t *testing.T) {
+	run := func() Result {
+		r, err := Run(Config{
+			Machine:     topo.Pyramid(),
+			Threads:     8,
+			PerNode:     4,
+			Strategy:    LocalSteal,
+			Granularity: 8,
+			Tree:        Small(30000),
+			Seed:        1,
+			Faults: &fault.Schedule{Name: "lossy", Actions: []fault.Action{
+				{Op: fault.OpDrop, At: 0, Until: 0.01, Prob: 0.3, Src: -1, Dst: -1},
+				{Op: fault.OpDuplicate, At: 0, Until: 0.01, Prob: 0.2, Src: -1, Dst: -1},
+				{Op: fault.OpDelay, At: 0, Until: 0.01, Prob: 0.3, Extra: 20e-6, Src: -1, Dst: -1},
+			}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a := run()
+	b := run()
+	if a.Elapsed != b.Elapsed || a.Counters.String() != b.Counters.String() {
+		t.Errorf("chaos replays differ:\n%v %v\n%v %v", a.Elapsed, a.Counters, b.Elapsed, b.Counters)
+	}
+	if a.Counters.Get("failovers") != 0 {
+		t.Errorf("no node crashed, yet failovers = %d", a.Counters.Get("failovers"))
+	}
+}

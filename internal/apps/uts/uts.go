@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fabric"
+	"repro/internal/fault"
 	"repro/internal/perf"
 	"repro/internal/sim"
 	"repro/internal/topo"
@@ -58,6 +59,16 @@ type Config struct {
 	// counters are emitted as "uts" trace counters, so a trace.Collector
 	// sees exactly the totals Result.Counters reports.
 	Tracer trace.Tracer
+	// Faults, when non-nil, overrides the process-default fault schedule
+	// (see internal/fault). The traversal then self-heals: lost messages
+	// are retried, dead victims are struck from the probe rings, and a
+	// crashed worker's unfinished work is re-rooted on the survivors, so
+	// the tree count stays exact. Crash schedules must spare node 0
+	// (thread 0 coordinates timing) and fire after startup.
+	Faults *fault.Schedule
+	// Retry tunes recovery when a fault schedule is installed; zero
+	// fields take fault.DefaultRetryPolicy.
+	Retry fault.RetryPolicy
 }
 
 // defaultNodeCost is the modeled per-node processing time (seconds),
@@ -95,6 +106,10 @@ type global struct {
 	nodes       int64
 	maxDepth    uint32
 	counters    perf.Counters
+	// orphans holds work re-rooted from crashed workers (their private
+	// stack remainder plus their shared steal region), awaiting adoption
+	// by survivors.
+	orphans []Node
 }
 
 // Run executes the benchmark and verifies the traversal against the
@@ -138,6 +153,8 @@ func Run(cfg Config) (Result, error) {
 		PSHM:           true,
 		Seed:           cfg.Seed,
 		Tracer:         cfg.Tracer,
+		Faults:         cfg.Faults,
+		Retry:          cfg.Retry,
 	}
 
 	g := &global{counters: perf.Counters{}}
@@ -149,7 +166,11 @@ func Run(cfg Config) (Result, error) {
 			start = t.Now()
 		}
 		w.run()
-		t.Barrier()
+		if !w.dead {
+			// Retired workers left the barrier population in die(); the
+			// survivors rendezvous among themselves.
+			t.Barrier()
+		}
 		if t.ID == 0 {
 			stop = t.Now()
 		}
@@ -204,6 +225,7 @@ type worker struct {
 	cursor   int    // persistent probe position within victims
 	count    int64
 	deepest  uint32
+	dead     bool // this worker's node crashed and it retired
 	c        perf.Counters
 
 	victims []int // baseline: full probe ring
@@ -254,14 +276,27 @@ func (w *worker) probeOrder() {
 	}
 }
 
-// run is the Figure 3.2 state machine.
+// run is the Figure 3.2 state machine, extended with crash detection at
+// its loop boundaries when a fault schedule is installed.
 func (w *worker) run() {
+	faults := w.t.Runtime().FaultsOn()
 	for {
 		for w.depth() > 0 {
+			if faults && w.t.Failed() {
+				w.die()
+				return
+			}
 			w.processBatch()
 			w.maybeRelease()
 		}
+		if faults && w.t.Failed() {
+			w.die()
+			return
+		}
 		if w.acquireOwn() {
+			continue
+		}
+		if faults && w.acquireOrphans() {
 			continue
 		}
 		t0 := w.t.Now()
@@ -287,6 +322,73 @@ func (w *worker) run() {
 }
 
 func (w *worker) depth() int { return len(w.local) - w.head }
+
+// die retires a worker whose node crashed: its unfinished work — the
+// private stack remainder plus its shared steal region — is re-rooted
+// into the global orphan pool for the survivors to adopt. (The steal
+// regions are modeled as replicated queue state the runtime can recover;
+// survivors pay the failover pull when they adopt, see acquireOrphans.)
+// The worker then leaves the barrier/collective population.
+func (w *worker) die() {
+	w.dead = true
+	t := w.t
+	g := w.g
+	orphans := append([]Node(nil), w.local[w.head:]...)
+	m := w.cnt.Local(t)[0]
+	if m.Avail > 0 {
+		seg := w.buf.Local(t)
+		orphans = append(orphans, seg[m.Base:m.Base+m.Avail]...)
+		g.sharedTotal -= m.Avail
+		w.cnt.Local(t)[0] = meta{}
+	}
+	w.local = w.local[:0]
+	w.head = 0
+	g.orphans = append(g.orphans, orphans...)
+	w.bump("failovers", 1)
+	t.FaultEvent("failover", t.ID, int64(len(orphans))*NodeBytes)
+	t.Retire()
+	g.q.WakeAll() // survivors re-check termination and find the orphans
+}
+
+// acquireOrphans adopts a chunk of re-rooted work from crashed workers,
+// charging the failover pull: a descriptor round trip plus streaming the
+// adopted nodes.
+func (w *worker) acquireOrphans() bool {
+	g := w.g
+	if len(g.orphans) == 0 {
+		return false
+	}
+	k := 2 * w.cfg.Granularity
+	if k > len(g.orphans) {
+		k = len(g.orphans)
+	}
+	w.local = append(w.local, g.orphans[len(g.orphans)-k:]...)
+	g.orphans = g.orphans[:len(g.orphans)-k]
+	cond := &w.t.Runtime().Cluster.Conduit
+	w.t.P.Advance(2 * cond.Latency)
+	w.t.MemStream(int64(k) * NodeBytes)
+	w.bump("orphans_taken", int64(k))
+	w.t.FaultEvent("failover", w.t.ID, int64(k)*NodeBytes)
+	return true
+}
+
+// strike removes a dead victim from every probe ring so later sweeps
+// skip it without paying a probe.
+func (w *worker) strike(v int) {
+	w.victims = strikeFrom(w.victims, v)
+	w.vLocal = strikeFrom(w.vLocal, v)
+	w.vRemote = strikeFrom(w.vRemote, v)
+	w.cursor = 0
+}
+
+func strikeFrom(s []int, v int) []int {
+	for i, x := range s {
+		if x == v {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
 
 // bump advances a traversal counter, mirroring it into the trace stream
 // so trace-fed consumers (Table 3.2) see the same totals.
@@ -411,70 +513,125 @@ func (w *worker) stealSweep() bool {
 
 // tryVictim probes one victim and steals on success.
 func (w *worker) tryVictim(v int) bool {
-	{
-		w.bump("probes", 1)
-		if upc.ReadElem(w.t, w.cnt, v).Avail == 0 {
-			w.bump("probes_failed", 1)
-			return false
-		}
-		// upc_lock_attempt: never queue on a contended victim — another
-		// thief is already draining it; move to the next one.
-		if !w.locks[v].TryLock(w.t) {
-			w.bump("probes_contended", 1)
-			return false
-		}
-		m := upc.ReadElem(w.t, w.cnt, v)
-		if m.Avail == 0 {
-			w.locks[v].Unlock(w.t)
-			w.bump("probes_failed", 1)
-			return false
-		}
-		k := int64(w.cfg.Granularity)
-		if w.cfg.Strategy == LocalRapid && m.Avail >= int64(2*w.cfg.Granularity) {
-			k = m.Avail / 2 // rapid diffusion: bisect the victim's stack
-		}
-		if k > m.Avail {
-			k = m.Avail
-		}
-		got := make([]Node, k)
-		// Take from the front: the oldest, shallowest entries whose
-		// subtrees are largest.
-		upc.GetT(w.t, w.buf, got, v, int(m.Base))
+	t := w.t
+	faults := t.Runtime().FaultsOn()
+	w.bump("probes", 1)
+	if faults && !t.Alive(v) {
+		w.strike(v)
+		w.bump("probes_failed", 1)
+		return false
+	}
+	m, err := upc.ReadElemErr(t, w.cnt, v)
+	if err != nil {
+		w.strike(v)
+		w.bump("probes_failed", 1)
+		return false
+	}
+	if m.Avail == 0 {
+		w.bump("probes_failed", 1)
+		return false
+	}
+	// upc_lock_attempt: never queue on a contended victim — another
+	// thief is already draining it; move to the next one.
+	if !w.locks[v].TryLock(t) {
+		w.bump("probes_contended", 1)
+		return false
+	}
+	m, err = upc.ReadElemErr(t, w.cnt, v)
+	if err != nil || m.Avail == 0 {
+		w.locks[v].Unlock(t)
+		w.bump("probes_failed", 1)
+		return false
+	}
+	if faults && !t.Alive(v) {
+		// The victim died while the descriptor read was in flight and its
+		// region has been re-rooted into the orphan pool (die is yield-free,
+		// so from this check to the commit below no further death can
+		// interleave); committing the stale snapshot would resurrect work.
+		w.locks[v].Unlock(t)
+		w.strike(v)
+		w.bump("probes_failed", 1)
+		return false
+	}
+	k := int64(w.cfg.Granularity)
+	if w.cfg.Strategy == LocalRapid && m.Avail >= int64(2*w.cfg.Granularity) {
+		k = m.Avail / 2 // rapid diffusion: bisect the victim's stack
+	}
+	if k > m.Avail {
+		k = m.Avail
+	}
+	got := make([]Node, k)
+	// Take from the front: the oldest, shallowest entries whose
+	// subtrees are largest.
+	if faults {
+		// Commit against replicated queue state: snapshot the stolen slots
+		// and advance the descriptor in one yield-free step, so a victim
+		// crash mid-steal can neither lose nor duplicate work. The wire
+		// costs — and any faults the schedule injects on them — are charged
+		// after the commit; a transfer the schedule kills degrades into a
+		// failover pull at the same price.
+		//upcvet:affinity -- atomic steal commit against replicated queue state; the wire cost is charged right below
+		copy(got, w.buf.Partition(v)[m.Base:m.Base+k])
 		m.Base += k
 		m.Avail -= k
-		upc.WriteElem(w.t, w.cnt, v, m)
-		w.locks[v].Unlock(w.t)
+		w.cnt.Partition(v)[0] = m //upcvet:affinity -- descriptor commit of the same steal
 		w.g.sharedTotal -= k
-		w.bump("steals", 1)
-		w.bump("stolen_nodes", k)
-		loc := "remote"
-		if w.t.Distance(v) != topo.LevelRemote {
-			w.bump("steals_local", 1)
-			loc = "local"
+		cond := &t.Runtime().Cluster.Conduit
+		t.ChargeXlate(1)
+		t.P.Advance(cond.SendOverhead + cond.MsgGap + cond.Latency)
+		if gerr := t.GetBytesErr(v, k*NodeBytes); gerr != nil {
+			w.bump("steal_failovers", 1)
+			t.FaultEvent("failover", v, k*NodeBytes)
 		}
-		w.t.P.TraceInstant("uts", "steal", loc, k, int64(v))
-		w.local = append(w.local, got...)
-		return true
+	} else {
+		upc.GetT(t, w.buf, got, v, int(m.Base))
+		m.Base += k
+		m.Avail -= k
+		upc.WriteElem(t, w.cnt, v, m)
+		w.g.sharedTotal -= k
 	}
+	w.locks[v].Unlock(t)
+	w.bump("steals", 1)
+	w.bump("stolen_nodes", k)
+	loc := "remote"
+	if t.Distance(v) != topo.LevelRemote {
+		w.bump("steals_local", 1)
+		loc = "local"
+	}
+	t.P.TraceInstant("uts", "steal", loc, k, int64(v))
+	w.local = append(w.local, got...)
+	return true
 }
 
 // enterIdle parks the thread until work appears or global termination is
-// detected; it reports whether the run is over.
+// detected; it reports whether the run is over. Termination counts only
+// the live (non-retired) workers and requires the orphan pool drained.
 func (w *worker) enterIdle() bool {
 	g := w.g
 	g.idle++
 	for {
+		if w.t.Runtime().FaultsOn() && w.t.Failed() {
+			// Crashed while parked: bounce back to the run loop, which
+			// retires this worker via die before termination can release it
+			// into the closing barrier.
+			g.idle--
+			return false
+		}
 		if g.done {
 			g.idle--
 			return true
 		}
-		if g.idle == w.t.N && g.sharedTotal == 0 {
+		live := w.t.N
+		if w.t.Runtime().FaultsOn() {
+			live = w.t.Runtime().LiveThreads()
+		}
+		if g.idle == live && g.sharedTotal == 0 && len(g.orphans) == 0 {
 			g.done = true
 			g.q.WakeAll()
 			g.idle--
 			return true
 		}
-		if g.sharedTotal > 0 {
+		if g.sharedTotal > 0 || len(g.orphans) > 0 {
 			g.idle--
 			return false
 		}

@@ -27,6 +27,10 @@ type Cluster struct {
 	mem     []*Link // [node*socketsPerNode + socket]
 	egress  []*Link // [node]
 	ingress []*Link // [node]
+
+	// faults is the installed fault model (nil when fault injection is
+	// off, which keeps the message hooks to a single pointer check).
+	faults FaultModel
 }
 
 // NewCluster wires machine m onto engine e with the given conduit. It
@@ -93,15 +97,17 @@ func (c *Cluster) MemRate(from, to topo.Place) float64 {
 // MemCopy moves size bytes between two places on one node through the
 // socket memory controllers, charging the per-operation overhead first.
 // Cross-socket copies traverse both controllers and pay the NUMA factor.
-func (c *Cluster) MemCopy(p *sim.Proc, from, to topo.Place, size int64, overhead sim.Duration) {
+// Placements spanning nodes yield a typed error (only the network moves
+// data between nodes).
+func (c *Cluster) MemCopy(p *sim.Proc, from, to topo.Place, size int64, overhead sim.Duration) error {
 	if !topo.SameNode(from, to) {
-		panic("fabric: MemCopy across nodes")
+		return crossNodeErr("memcopy", from, to)
 	}
 	if overhead > 0 {
 		p.Advance(overhead)
 	}
 	if size <= 0 {
-		return
+		return nil
 	}
 	if c.Eng.Tracing() {
 		p.TraceInstant("fabric", "memcopy", socketAux(from, to), size, 0)
@@ -110,7 +116,7 @@ func (c *Cluster) MemCopy(p *sim.Proc, from, to topo.Place, size int64, overhead
 		// A same-socket copy reads and writes through one controller:
 		// 2x the payload crosses the link.
 		c.Net.Transfer(p, 2*size, 0, c.MemLink(from.Node, from.Socket))
-		return
+		return nil
 	}
 	// Cross-socket: the payload crosses the interconnect once, touching
 	// both controllers; the flow cap encodes the 2x read+write traffic and
@@ -118,14 +124,25 @@ func (c *Cluster) MemCopy(p *sim.Proc, from, to topo.Place, size int64, overhead
 	cap := c.Mach.MemBWSocket / c.Mach.NUMAFactor / 2
 	c.Net.Transfer(p, size, cap,
 		c.MemLink(from.Node, from.Socket), c.MemLink(to.Node, to.Socket))
+	return nil
+}
+
+// crossNodeErr builds the typed error of a copy spanning nodes.
+func crossNodeErr(op string, from, to topo.Place) error {
+	return &Error{
+		Op:     op,
+		Detail: fmt.Sprintf("node %d to node %d", from.Node, to.Node),
+		Err:    ErrCrossNode,
+	}
 }
 
 // MemCopyAsync starts an intra-node copy without blocking: the caller is
 // charged only the per-operation overhead; the returned handle's events
 // fire when the copy drains (apply, which may be nil, runs then).
-func (c *Cluster) MemCopyAsync(p *sim.Proc, from, to topo.Place, size int64, overhead sim.Duration, apply func()) *NetOp {
+// Placements spanning nodes yield a typed error and no handle.
+func (c *Cluster) MemCopyAsync(p *sim.Proc, from, to topo.Place, size int64, overhead sim.Duration, apply func()) (*NetOp, error) {
 	if !topo.SameNode(from, to) {
-		panic("fabric: MemCopyAsync across nodes")
+		return nil, crossNodeErr("memcopy", from, to)
 	}
 	if overhead > 0 {
 		p.Advance(overhead)
@@ -150,7 +167,7 @@ func (c *Cluster) MemCopyAsync(p *sim.Proc, from, to topo.Place, size int64, ove
 		op.Local.Fire()
 		op.Remote.Fire()
 	})
-	return op
+	return op, nil
 }
 
 // socketAux labels a copy's socket relation for the trace.
@@ -237,16 +254,32 @@ func (ep *Endpoint) rxOccupancy() sim.Duration {
 	return ep.c.Conduit.RecvOverhead
 }
 
-// NewEndpoint creates a network connection on the given node.
-func (c *Cluster) NewEndpoint(node int) *Endpoint {
+// NewEndpoint creates a network connection on the given node. A node
+// outside the machine yields a typed error wrapping ErrBadNode.
+func (c *Cluster) NewEndpoint(node int) (*Endpoint, error) {
 	if node < 0 || node >= c.Mach.Nodes {
-		panic(fmt.Sprintf("fabric: endpoint on node %d of %d", node, c.Mach.Nodes))
+		return nil, &Error{
+			Op:     "endpoint",
+			Detail: fmt.Sprintf("node %d of %d", node, c.Mach.Nodes),
+			Err:    ErrBadNode,
+		}
 	}
 	return &Endpoint{
 		c:    c,
 		node: node,
 		conn: NewLink(fmt.Sprintf("conn-n%d", node), c.Conduit.ConnBW),
+	}, nil
+}
+
+// MustEndpoint is NewEndpoint for construction-time wiring whose node
+// index is known-good by layout arithmetic; it panics on the typed error
+// a bad index would return.
+func (c *Cluster) MustEndpoint(node int) *Endpoint {
+	ep, err := c.NewEndpoint(node)
+	if err != nil {
+		panic(err)
 	}
+	return ep
 }
 
 // Node reports the endpoint's node.
@@ -282,6 +315,14 @@ func (ep *Endpoint) PutAsync(p *sim.Proc, dst *Endpoint, size int64, apply func(
 		p.TraceInstant("fabric", "put", cond.Name, size, int64(ep.conn.Active()))
 	}
 
+	// Fault injection decides the message's fate at injection time, in
+	// deterministic proc order. The payload still drains from the source
+	// either way (the NIC did the work), so Local always fires.
+	verdict, extra := VerdictDeliver, sim.Duration(0)
+	if ep.c.faults != nil {
+		verdict, extra = ep.c.messageVerdict(ep.node, dst.node, size)
+	}
+
 	var flow *FlowOp
 	var lat sim.Duration
 	if dst.node == ep.node {
@@ -295,19 +336,40 @@ func (ep *Endpoint) PutAsync(p *sim.Proc, dst *Endpoint, size int64, apply func(
 			ep.conn, ep.c.egress[ep.node], ep.c.ingress[dst.node])
 		lat = cond.Latency
 	}
+	if verdict == VerdictDelay {
+		lat += extra
+	}
 	flow.OnComplete(func() {
 		op.Local.Fire()
 		eng := ep.c.Eng
-		eng.After(lat, func() {
-			rxDone := dst.gapRx.Schedule(eng.Now(), dst.rxOccupancy())
-			eng.After(rxDone-eng.Now(), func() {
-				if apply != nil {
-					apply()
+		deliveries := 1
+		switch verdict {
+		case VerdictDrop:
+			ep.c.traceFault("drop", ep.node, dst.node, size)
+			return
+		case VerdictDuplicate:
+			deliveries = 2
+			ep.c.traceFault("dup", ep.node, dst.node, size)
+		case VerdictDelay:
+			ep.c.traceFault("delay", ep.node, dst.node, size)
+		}
+		for i := 0; i < deliveries; i++ {
+			eng.After(lat, func() {
+				if ep.c.NodeDown(dst.node) {
+					// Target crashed while the message was in flight.
+					ep.c.traceFault("drop", ep.node, dst.node, size)
+					return
 				}
-				eng.TraceInstant("fabric", "deliver", cond.Name, size, 0)
-				op.Remote.Fire()
+				rxDone := dst.gapRx.Schedule(eng.Now(), dst.rxOccupancy())
+				eng.After(rxDone-eng.Now(), func() {
+					if apply != nil {
+						apply()
+					}
+					eng.TraceInstant("fabric", "deliver", cond.Name, size, 0)
+					op.Remote.Fire()
+				})
 			})
-		})
+		}
 	})
 	return op
 }
@@ -336,6 +398,15 @@ func (ep *Endpoint) GetAsync(p *sim.Proc, src *Endpoint, size int64, apply func(
 		p.TraceInstant("fabric", "get", cond.Name, size, int64(src.conn.Active()))
 	}
 
+	// One verdict covers the whole round trip: a drop loses the request
+	// leg (no payload ever starts), a delay or duplicate applies to the
+	// returning payload. Drawn at injection time, in deterministic proc
+	// order.
+	verdict, extra := VerdictDeliver, sim.Duration(0)
+	if ep.c.faults != nil {
+		verdict, extra = ep.c.messageVerdict(ep.node, src.node, size)
+	}
+
 	eng := ep.c.Eng
 	sameNode := src.node == ep.node
 	reqLat := cond.Latency
@@ -343,6 +414,11 @@ func (ep *Endpoint) GetAsync(p *sim.Proc, src *Endpoint, size int64, apply func(
 		reqLat = cond.LoopbackLatency
 	}
 	eng.After(reqLat, func() {
+		if verdict == VerdictDrop || ep.c.NodeDown(src.node) {
+			// Request lost, or the source crashed before it arrived.
+			ep.c.traceFault("drop", ep.node, src.node, size)
+			return
+		}
 		// Request processed at the source endpoint.
 		reqDone := src.gapRx.Schedule(eng.Now(), src.rxOccupancy())
 		injStart := src.gapTx.Schedule(reqDone, src.txOccupancy(size))
@@ -358,18 +434,36 @@ func (ep *Endpoint) GetAsync(p *sim.Proc, src *Endpoint, size int64, apply func(
 					src.conn, ep.c.egress[src.node], ep.c.ingress[ep.node])
 				lat = cond.Latency
 			}
+			if verdict == VerdictDelay {
+				lat += extra
+			}
 			flow.OnComplete(func() {
-				eng.After(lat, func() {
-					rxDone := ep.gapRx.Schedule(eng.Now(), ep.rxOccupancy())
-					eng.After(rxDone-eng.Now(), func() {
-						if apply != nil {
-							apply()
+				deliveries := 1
+				switch verdict {
+				case VerdictDuplicate:
+					deliveries = 2
+					ep.c.traceFault("dup", src.node, ep.node, size)
+				case VerdictDelay:
+					ep.c.traceFault("delay", src.node, ep.node, size)
+				}
+				for i := 0; i < deliveries; i++ {
+					eng.After(lat, func() {
+						if ep.c.NodeDown(ep.node) {
+							// Requester crashed while the payload was in flight.
+							ep.c.traceFault("drop", src.node, ep.node, size)
+							return
 						}
-						eng.TraceInstant("fabric", "deliver", cond.Name, size, 0)
-						op.Local.Fire() // a get has a single completion
-						op.Remote.Fire()
+						rxDone := ep.gapRx.Schedule(eng.Now(), ep.rxOccupancy())
+						eng.After(rxDone-eng.Now(), func() {
+							if apply != nil {
+								apply()
+							}
+							eng.TraceInstant("fabric", "deliver", cond.Name, size, 0)
+							op.Local.Fire() // a get has a single completion
+							op.Remote.Fire()
+						})
 					})
-				})
+				}
 			})
 		})
 	})

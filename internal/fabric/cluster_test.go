@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -95,25 +96,36 @@ func TestMemCopyLocalVsCrossSocket(t *testing.T) {
 	}
 }
 
-func TestMemCopyAcrossNodesPanics(t *testing.T) {
+func TestMemCopyAcrossNodesError(t *testing.T) {
 	e, c := lehmanCluster(1)
+	var blockErr, asyncErr error
 	e.Go("p", func(p *sim.Proc) {
-		c.MemCopy(p, topo.Place{Node: 0}, topo.Place{Node: 1}, 100, 0)
+		blockErr = c.MemCopy(p, topo.Place{Node: 0}, topo.Place{Node: 1}, 100, 0)
+		_, asyncErr = c.MemCopyAsync(p, topo.Place{Node: 0}, topo.Place{Node: 1}, 100, 0, nil)
 	})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("cross-node MemCopy must panic")
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		err  error
+	}{{"MemCopy", blockErr}, {"MemCopyAsync", asyncErr}} {
+		if !errors.Is(tc.err, ErrCrossNode) {
+			t.Errorf("cross-node %s error = %v, want ErrCrossNode", tc.name, tc.err)
 		}
-	}()
-	e.Run()
+		var fe *Error
+		if !errors.As(tc.err, &fe) || fe.Op != "memcopy" {
+			t.Errorf("cross-node %s error %v is not a typed *fabric.Error with Op memcopy", tc.name, tc.err)
+		}
+	}
 }
 
 func TestPutLatencyAndBandwidthRegimes(t *testing.T) {
 	// A small blocking put should cost a few microseconds (latency-bound);
 	// a 1 MB put should approach size/ConnBW (bandwidth-bound).
 	e, c := lehmanCluster(1)
-	ep0 := c.NewEndpoint(0)
-	ep1 := c.NewEndpoint(1)
+	ep0 := c.MustEndpoint(0)
+	ep1 := c.MustEndpoint(1)
 	var small, large sim.Duration
 	e.Go("p", func(p *sim.Proc) {
 		start := p.Now()
@@ -140,8 +152,8 @@ func TestPutLatencyAndBandwidthRegimes(t *testing.T) {
 
 func TestGetRoundTrip(t *testing.T) {
 	e, c := lehmanCluster(1)
-	ep0 := c.NewEndpoint(0)
-	ep1 := c.NewEndpoint(1)
+	ep0 := c.MustEndpoint(0)
+	ep1 := c.MustEndpoint(1)
 	applied := false
 	var rtt sim.Duration
 	e.Go("p", func(p *sim.Proc) {
@@ -170,17 +182,17 @@ func TestSharedConnectionSerializesInjection(t *testing.T) {
 		e, c := lehmanCluster(1)
 		dst := make([]*Endpoint, 8)
 		for i := range dst {
-			dst[i] = c.NewEndpoint(1)
+			dst[i] = c.MustEndpoint(1)
 		}
 		var eps []*Endpoint
 		if shared {
-			one := c.NewEndpoint(0)
+			one := c.MustEndpoint(0)
 			for i := 0; i < 8; i++ {
 				eps = append(eps, one)
 			}
 		} else {
 			for i := 0; i < 8; i++ {
-				eps = append(eps, c.NewEndpoint(0))
+				eps = append(eps, c.MustEndpoint(0))
 			}
 		}
 		var worst sim.Time
@@ -215,8 +227,8 @@ func TestMultiConnectionBandwidthExceedsOne(t *testing.T) {
 		size := int64(4 << 20)
 		var worst sim.Time
 		for i := 0; i < conns; i++ {
-			src := c.NewEndpoint(0)
-			dst := c.NewEndpoint(1)
+			src := c.MustEndpoint(0)
+			dst := c.MustEndpoint(1)
 			e.Go(fmt.Sprintf("f%d", i), func(p *sim.Proc) {
 				op := src.PutAsync(p, dst, size, nil)
 				op.WaitRemote(p)
@@ -245,8 +257,8 @@ func TestLoopbackSlowerThanMemCopy(t *testing.T) {
 	e, c := lehmanCluster(1)
 	size := int64(1 << 20)
 	var loop, shm sim.Duration
-	epA := c.NewEndpoint(0)
-	epB := c.NewEndpoint(0)
+	epA := c.MustEndpoint(0)
+	epB := c.MustEndpoint(0)
 	e.Go("p", func(p *sim.Proc) {
 		start := p.Now()
 		epA.Put(p, epB, size, nil)
@@ -302,12 +314,22 @@ func TestConduitPresets(t *testing.T) {
 	}
 }
 
-func TestEndpointOutOfRangePanics(t *testing.T) {
+func TestEndpointOutOfRangeError(t *testing.T) {
 	_, c := lehmanCluster(1)
+	for _, node := range []int{-1, 99} {
+		ep, err := c.NewEndpoint(node)
+		if ep != nil || !errors.Is(err, ErrBadNode) {
+			t.Errorf("NewEndpoint(%d) = %v, %v, want nil + ErrBadNode", node, ep, err)
+		}
+	}
+	// MustEndpoint keeps the construction-time panic contract, carrying
+	// the typed error as the panic value.
 	defer func() {
-		if recover() == nil {
-			t.Fatal("endpoint on invalid node must panic")
+		v := recover()
+		err, ok := v.(error)
+		if !ok || !errors.Is(err, ErrBadNode) {
+			t.Fatalf("MustEndpoint panic value = %v, want typed ErrBadNode", v)
 		}
 	}()
-	c.NewEndpoint(99)
+	c.MustEndpoint(99)
 }

@@ -61,7 +61,7 @@ func TestSingleFlowUnaffectedByBeta(t *testing.T) {
 func TestMarkSharedWidensAggregate(t *testing.T) {
 	e := sim.New(1)
 	c := NewCluster(e, lehmanForTest(), QDRInfiniBand())
-	ep := c.NewEndpoint(0)
+	ep := c.MustEndpoint(0)
 	if ep.conn.Capacity != c.Conduit.ConnBW {
 		t.Fatalf("private connection capacity = %g", ep.conn.Capacity)
 	}
@@ -84,7 +84,7 @@ func place(node, socket, core int) topo.Place {
 func TestSharedTxOccupancyZeroCopyThreshold(t *testing.T) {
 	e := sim.New(1)
 	c := NewCluster(e, lehmanForTest(), QDRInfiniBand())
-	ep := c.NewEndpoint(0)
+	ep := c.MustEndpoint(0)
 	ep.MarkShared()
 	small := ep.txOccupancy(1 << 10)
 	mid := ep.txOccupancy(32 << 10)
@@ -97,7 +97,7 @@ func TestSharedTxOccupancyZeroCopyThreshold(t *testing.T) {
 		t.Errorf("above the zero-copy threshold the locked work must cap: %v vs %v", big, capAt)
 	}
 	// Private connections pay only the gap, independent of size.
-	priv := c.NewEndpoint(0)
+	priv := c.MustEndpoint(0)
 	if priv.txOccupancy(8<<20) != c.Conduit.MsgGap {
 		t.Errorf("private occupancy = %v, want gap %v", priv.txOccupancy(8<<20), c.Conduit.MsgGap)
 	}
@@ -108,8 +108,12 @@ func TestMemCopyAsyncAppliesAtCompletion(t *testing.T) {
 	c := NewCluster(e, lehmanForTest(), QDRInfiniBand())
 	applied := false
 	e.Go("p", func(p *sim.Proc) {
-		op := c.MemCopyAsync(p, place(0, 0, 0), place(0, 1, 0), 1<<20, 0,
+		op, err := c.MemCopyAsync(p, place(0, 0, 0), place(0, 1, 0), 1<<20, 0,
 			func() { applied = true })
+		if err != nil {
+			t.Error(err)
+			return
+		}
 		if applied {
 			t.Error("apply must not run at initiation")
 		}
@@ -129,16 +133,16 @@ func TestLoopbackConsumesNIC(t *testing.T) {
 	run := func(withLoopback bool) sim.Time {
 		e := sim.New(1)
 		c := NewCluster(e, lehmanForTest(), QDRInfiniBand())
-		src := c.NewEndpoint(0)
-		dst := c.NewEndpoint(1)
+		src := c.MustEndpoint(0)
+		dst := c.MustEndpoint(1)
 		var remoteDone sim.Time
 		e.Go("remote", func(p *sim.Proc) {
 			src.Put(p, dst, 8<<20, nil)
 			remoteDone = p.Now()
 		})
 		if withLoopback {
-			a := c.NewEndpoint(0)
-			b := c.NewEndpoint(0)
+			a := c.MustEndpoint(0)
+			b := c.MustEndpoint(0)
 			e.Go("loop", func(p *sim.Proc) {
 				a.Put(p, b, 8<<20, nil)
 			})

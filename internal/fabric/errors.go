@@ -1,0 +1,33 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel error conditions of the fabric's Put/Get/Endpoint paths.
+// Misuse that previously panicked now surfaces as a typed error wrapping
+// one of these, so a runtime reacting to injected faults can distinguish
+// recoverable failures (a peer's node is down) from programming errors
+// (an endpoint on a node the machine does not have) without dying.
+var (
+	// ErrBadNode marks an endpoint request for a node outside the machine.
+	ErrBadNode = errors.New("node outside machine")
+	// ErrCrossNode marks a memory copy whose placements span nodes (only
+	// the network moves data between nodes).
+	ErrCrossNode = errors.New("memory copy across nodes")
+)
+
+// Error is the typed error of a failed fabric operation.
+type Error struct {
+	Op     string // "endpoint", "memcopy", ...
+	Detail string
+	Err    error // sentinel condition
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("fabric: %s: %s: %v", e.Op, e.Detail, e.Err)
+}
+
+// Unwrap exposes the sentinel for errors.Is.
+func (e *Error) Unwrap() error { return e.Err }

@@ -27,6 +27,11 @@ type Link struct {
 	// NICs, incast buffering). Zero means ideal sharing.
 	Beta   float64
 	active int
+	// Down marks a flapped link: flows crossing it stall at rate zero
+	// until the link comes back (distinct from Capacity <= 0, which means
+	// infinitely fast). Toggled by the fault layer, which must follow any
+	// change with Net.Nudge so in-flight flows re-settle.
+	Down bool
 }
 
 // maxCongestion bounds the congestion divisor: goodput degrades with
@@ -43,6 +48,9 @@ func (l *Link) Active() int { return l.active }
 
 // share reports the per-flow bandwidth the link currently offers.
 func (l *Link) share() float64 {
+	if l.Down {
+		return 0
+	}
 	if l.Capacity <= 0 {
 		return math.Inf(1)
 	}
@@ -155,6 +163,16 @@ func (n *Net) Transfer(p *sim.Proc, size int64, cap float64, links ...*Link) {
 	n.Start(size, cap, links...).Wait(p)
 }
 
+// Nudge re-settles all in-flight flows after an external change to link
+// state (a fault action degrading capacity or toggling Down). It charges
+// progress at the old rates up to now, then recomputes and rebooks the
+// next completion — including waking flows that were stalled on a link
+// that just came back.
+func (n *Net) Nudge() {
+	n.account()
+	n.reschedule()
+}
+
 func (f *FlowOp) finish() {
 	f.done.Fire()
 	for _, fn := range f.onDone {
@@ -245,7 +263,10 @@ func (n *Net) reschedule() {
 		}
 	}
 	if math.IsInf(next, 1) {
-		return // no flow can progress; caller bug, surfaces as deadlock
+		// No flow can progress. Either every remaining flow crosses a Down
+		// link (a fault-layer Nudge restores them) or this is a caller bug
+		// that surfaces as deadlock.
+		return
 	}
 	dt := sim.FromSeconds(next)
 	// Relative quantization: push the wake slightly past the earliest

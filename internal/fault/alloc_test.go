@@ -1,0 +1,91 @@
+// Zero-cost-when-disabled guarantees for the fault layer. The engine
+// hot paths must stay allocation-free with the fault hooks compiled in,
+// the untraced fault-free cross-node put must stay at its pinned
+// allocs/op, and an installed-but-idle schedule (the injector consulted
+// on every message, no rule active) must add nothing on top. The same
+// FabricPut number is recorded in BENCH_sim.json, where upc-bench
+// -check compares allocs/op exactly, so CI fails on any growth.
+package fault_test
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/simbench"
+	"repro/internal/topo"
+)
+
+// fabricPutAllocs pins allocs/op of the untraced fault-free cross-node
+// blocking put: the NetOp, its local/remote completion events, and the
+// timer closures they book. The disabled fault hook is a nil check and
+// contributes none of them.
+const fabricPutAllocs = 11
+
+// putLoop is simbench.FabricPut with an optional schedule installed.
+func putLoop(b *testing.B, sched *fault.Schedule) {
+	b.ReportAllocs()
+	e := sim.New(1)
+	c := fabric.NewCluster(e, topo.Pyramid(), fabric.QDRInfiniBand())
+	if _, err := fault.Install(c, sched); err != nil {
+		b.Fatal(err)
+	}
+	src := c.MustEndpoint(0)
+	dst := c.MustEndpoint(1)
+	e.Go("p", func(p *sim.Proc) {
+		for n := 0; n < b.N; n++ {
+			src.Put(p, dst, 8, nil)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func TestHotPathAllocationsPinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed; skipped in -short")
+	}
+	for _, tc := range []struct {
+		name string
+		fn   func(*testing.B)
+		max  int64
+	}{
+		// Engine hot paths: allocation-free, full stop.
+		{"Advance", simbench.Advance, 0},
+		{"ServerDelay", simbench.ServerDelay, 0},
+		{"PingPongYield", simbench.PingPongYield, 0},
+		// The cross-node put pays for its NetOp and completion events;
+		// the disabled fault hook must add nothing on top.
+		{"FabricPut", simbench.FabricPut, fabricPutAllocs},
+	} {
+		r := testing.Benchmark(tc.fn)
+		if got := r.AllocsPerOp(); got > tc.max {
+			t.Errorf("%s: %d allocs/op, want <= %d", tc.name, got, tc.max)
+		}
+	}
+}
+
+// TestArmedIdleScheduleAddsNoAllocs installs a schedule whose only rule
+// activates far beyond the benchmark's virtual horizon: the fabric
+// consults the injector on every message, every rule filter misses, and
+// the per-message cost must still be allocation-free — the same pinned
+// allocs/op as running with no schedule at all.
+func TestArmedIdleScheduleAddsNoAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed; skipped in -short")
+	}
+	sched := &fault.Schedule{
+		Name: "idle",
+		Actions: []fault.Action{
+			{Op: fault.OpDrop, At: 1e6, Prob: 0.5, Src: -1, Dst: -1},
+		},
+	}
+	r := testing.Benchmark(func(b *testing.B) { putLoop(b, sched) })
+	if got := r.AllocsPerOp(); got > fabricPutAllocs {
+		t.Errorf("armed-idle put: %d allocs/op, want <= %d (fault-free pin)",
+			got, fabricPutAllocs)
+	}
+}

@@ -1,0 +1,135 @@
+package fault_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/apps/uts"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/sweep"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// utsCfg is one chaos-soak application point: a cross-node UTS traversal
+// whose exact node count Run verifies internally.
+func utsCfg(seed int64, sched *fault.Schedule) uts.Config {
+	return uts.Config{
+		Machine:     topo.Pyramid(),
+		Threads:     16,
+		PerNode:     4,
+		Strategy:    uts.LocalRapid,
+		Granularity: 8,
+		Tree:        uts.Small(60000),
+		Seed:        seed,
+		Faults:      sched,
+	}
+}
+
+// soakSchedules are the chaos plans the soak sweeps: message-level chaos
+// (drop, duplicate, delay) and a mid-run whole-node crash. Node 0 is
+// spared: thread 0 coordinates the run's timing.
+func soakSchedules() []*fault.Schedule {
+	return []*fault.Schedule{
+		{Name: "lossy", Actions: []fault.Action{
+			{Op: fault.OpDrop, At: 0, Until: 0.01, Prob: 0.3, Src: -1, Dst: -1},
+			{Op: fault.OpDuplicate, At: 0, Until: 0.01, Prob: 0.2, Src: -1, Dst: -1},
+			{Op: fault.OpDelay, At: 0, Until: 0.01, Prob: 0.25, Extra: 15e-6, Src: -1, Dst: -1},
+		}},
+		{Name: "crash", Actions: []fault.Action{
+			{Op: fault.OpCrash, At: 0.001, Node: 1, Src: -1, Dst: -1},
+		}},
+	}
+}
+
+// TestChaosSoak sweeps seeds x schedules: every run must complete with
+// the fault-free result (the exact sequential node count), and repeating
+// a (seed, schedule) pair must reproduce the timeline and every counter.
+func TestChaosSoak(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		clean, err := uts.Run(utsCfg(seed, nil))
+		if err != nil {
+			t.Fatalf("seed %d fault-free: %v", seed, err)
+		}
+		for _, sched := range soakSchedules() {
+			a, err := uts.Run(utsCfg(seed, sched))
+			if err != nil {
+				t.Errorf("seed %d schedule %s: %v", seed, sched.Name, err)
+				continue
+			}
+			if a.Nodes != clean.Nodes || a.MaxDepth != clean.MaxDepth {
+				t.Errorf("seed %d schedule %s: result %d/%d, fault-free %d/%d",
+					seed, sched.Name, a.Nodes, a.MaxDepth, clean.Nodes, clean.MaxDepth)
+			}
+			b, err := uts.Run(utsCfg(seed, sched))
+			if err != nil {
+				t.Errorf("seed %d schedule %s replay: %v", seed, sched.Name, err)
+				continue
+			}
+			if a.Elapsed != b.Elapsed || a.Counters.String() != b.Counters.String() {
+				t.Errorf("seed %d schedule %s replays diverge:\n%v %v\n%v %v",
+					seed, sched.Name, a.Elapsed, a.Counters, b.Elapsed, b.Counters)
+			}
+		}
+	}
+}
+
+// chaosManifest runs the soak sweep at the given worker-pool width with a
+// metrics collection attached and returns the serialized manifest — the
+// acceptance artifact that must be byte-identical at any -parallel.
+func chaosManifest(t *testing.T, workers int) []byte {
+	t.Helper()
+	prevWorkers := sweep.Workers()
+	prevTracer := trace.Default()
+	coll := metrics.NewCollection()
+	trace.SetDefault(coll)
+	sweep.SetWorkers(workers)
+	defer func() {
+		sweep.SetWorkers(prevWorkers)
+		trace.SetDefault(prevTracer)
+	}()
+	scheds := soakSchedules()
+	seeds := []int64{1, 2, 3}
+	err := sweep.Run(len(seeds)*len(scheds), func(i int, tr trace.Tracer) error {
+		cfg := utsCfg(seeds[i/len(scheds)], scheds[i%len(scheds)])
+		cfg.Tracer = tr
+		_, err := uts.Run(cfg)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := coll.Manifest("chaos-soak", nil)
+	var b bytes.Buffer
+	if err := m.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if m.Comm == nil {
+		t.Fatal("chaos sweep produced no comm matrix")
+	}
+	seen := false
+	for _, c := range m.Comm.Classes {
+		if c.Class == trace.ClassFault && c.Messages > 0 {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Error("comm matrix records no fault-class recovery events under active chaos")
+	}
+	return b.Bytes()
+}
+
+// TestChaosManifestParallelInvariance is the acceptance gate: the same
+// seeds x schedules sweep emits a byte-identical metrics manifest whether
+// the sweep points run sequentially or on eight worker threads.
+func TestChaosManifestParallelInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep comparison")
+	}
+	m1 := chaosManifest(t, 1)
+	m8 := chaosManifest(t, 8)
+	if !bytes.Equal(m1, m8) {
+		t.Errorf("manifests differ between -parallel=1 and -parallel=8:\n--- 1 ---\n%s\n--- 8 ---\n%s", m1, m8)
+	}
+}

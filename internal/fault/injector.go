@@ -1,0 +1,176 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Injector realizes a schedule against one cluster. It implements
+// fabric.FaultModel: the fabric consults it on every message, and timed
+// actions (crashes, degradations, flaps) fire as engine events. All
+// probability draws come from the engine's seeded PRNG and all times from
+// the virtual clock, so a (seed, schedule) pair fully determines every
+// injected fault.
+type Injector struct {
+	eng   *sim.Engine
+	cl    *fabric.Cluster
+	sched *Schedule
+	down  []bool // per node
+	rules []rule // message-level rules, in schedule order
+}
+
+// rule is one message-level action plus its activation state, toggled by
+// the timed events Install books for at_s/until_s.
+type rule struct {
+	act    *Action
+	active bool
+}
+
+// Install validates the schedule against the cluster's machine, books
+// every timed action on the engine, and registers the injector as the
+// cluster's fault model. Call before the engine runs. A nil or empty
+// schedule installs nothing and returns a nil injector.
+func Install(cl *fabric.Cluster, sched *Schedule) (*Injector, error) {
+	if sched == nil || len(sched.Actions) == 0 {
+		return nil, nil
+	}
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	eng := cl.Eng
+	inj := &Injector{eng: eng, cl: cl, sched: sched, down: make([]bool, cl.Mach.Nodes)}
+	for i := range sched.Actions {
+		a := &sched.Actions[i]
+		switch a.Op {
+		case OpCrash:
+			if a.Node >= cl.Mach.Nodes {
+				return nil, fmt.Errorf("fault: action %d: crash node %d of %d",
+					i, a.Node, cl.Mach.Nodes)
+			}
+			inj.at(a.At, func() { inj.setDown(a.Node, true) })
+			if a.Until > 0 {
+				inj.at(a.Until, func() { inj.setDown(a.Node, false) })
+			}
+		case OpDegrade:
+			l := cl.LinkByName(a.Link)
+			if l == nil {
+				return nil, fmt.Errorf("fault: action %d: unknown link %q", i, a.Link)
+			}
+			inj.at(a.At, func() {
+				base := l.Capacity
+				l.Capacity = base * a.Factor
+				inj.event("degrade")
+				cl.Net.Nudge()
+				if a.Until > 0 {
+					inj.at(a.Until, func() {
+						l.Capacity = base
+						inj.event("restore")
+						cl.Net.Nudge()
+					})
+				}
+			})
+		case OpFlap:
+			l := cl.LinkByName(a.Link)
+			if l == nil {
+				return nil, fmt.Errorf("fault: action %d: unknown link %q", i, a.Link)
+			}
+			until := sim.Time(sim.FromSeconds(a.Until))
+			period := sim.FromSeconds(a.Period)
+			var tick func()
+			tick = func() {
+				if inj.eng.Now() >= until {
+					if l.Down {
+						l.Down = false
+						inj.event("restore")
+						cl.Net.Nudge()
+					}
+					return
+				}
+				l.Down = !l.Down
+				if l.Down {
+					inj.event("flap-down")
+				} else {
+					inj.event("flap-up")
+				}
+				cl.Net.Nudge()
+				eng.After(period, tick)
+			}
+			inj.at(a.At, tick)
+		case OpDrop, OpDelay, OpDuplicate:
+			idx := len(inj.rules)
+			inj.rules = append(inj.rules, rule{act: a})
+			inj.at(a.At, func() { inj.rules[idx].active = true })
+			if a.Until > 0 {
+				inj.at(a.Until, func() { inj.rules[idx].active = false })
+			}
+		}
+	}
+	cl.SetFaultModel(inj)
+	return inj, nil
+}
+
+// at books fn at absolute virtual second s (relative to the current
+// clock, which is 0 when Install runs before the engine).
+func (inj *Injector) at(s float64, fn func()) {
+	inj.eng.After(sim.FromSeconds(s)-sim.Duration(inj.eng.Now()), fn)
+}
+
+// setDown records a crash or revival and emits the visibility event.
+func (inj *Injector) setDown(node int, down bool) {
+	inj.down[node] = down
+	name := "revive"
+	if down {
+		name = "crash"
+	}
+	if inj.eng.Tracing() {
+		inj.eng.TraceInstant(trace.CatComm, name, trace.ClassFault, 0,
+			trace.PackEndpoints(0, 0, node, node))
+	}
+}
+
+// event emits a link-action visibility instant.
+func (inj *Injector) event(name string) {
+	if inj.eng.Tracing() {
+		inj.eng.TraceInstant(trace.CatComm, name, trace.ClassFault, 0, 0)
+	}
+}
+
+// NodeDown implements fabric.FaultModel.
+func (inj *Injector) NodeDown(node int) bool {
+	return node >= 0 && node < len(inj.down) && inj.down[node]
+}
+
+// MessageVerdict implements fabric.FaultModel: active rules are consulted
+// in schedule order and the first whose filter matches and whose
+// probability draw succeeds decides the message. Each matching active
+// rule consumes exactly one PRNG draw, keeping the stream a pure function
+// of the schedule and the deterministic message order.
+func (inj *Injector) MessageVerdict(srcNode, dstNode int, size int64) (fabric.Verdict, sim.Duration) {
+	for i := range inj.rules {
+		r := &inj.rules[i]
+		if !r.active {
+			continue
+		}
+		if r.act.Src >= 0 && r.act.Src != srcNode {
+			continue
+		}
+		if r.act.Dst >= 0 && r.act.Dst != dstNode {
+			continue
+		}
+		if inj.eng.Rand().Float64() >= r.act.Prob {
+			continue
+		}
+		switch r.act.Op {
+		case OpDrop:
+			return fabric.VerdictDrop, 0
+		case OpDuplicate:
+			return fabric.VerdictDuplicate, 0
+		case OpDelay:
+			return fabric.VerdictDelay, sim.FromSeconds(r.act.Extra)
+		}
+	}
+	return fabric.VerdictDeliver, 0
+}

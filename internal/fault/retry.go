@@ -1,0 +1,111 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Sentinel failure causes of a communication attempt.
+var (
+	// ErrTimeout marks an operation whose retries were exhausted without
+	// a completion (the message or its acknowledgement kept getting lost).
+	ErrTimeout = errors.New("timed out")
+	// ErrNodeDown marks an operation whose peer's node is crashed.
+	ErrNodeDown = errors.New("peer node down")
+)
+
+// CommError is the typed failure a fault-aware communication call
+// returns after recovery gave up: which operation, between which
+// endpoints (thread or rank ids), how many attempts were made, and why.
+type CommError struct {
+	Op       string // "put", "get", "send", "barrier", ...
+	Src, Dst int
+	Attempts int
+	Err      error // sentinel cause
+}
+
+func (e *CommError) Error() string {
+	return fmt.Sprintf("fault: %s %d->%d failed after %d attempts: %v",
+		e.Op, e.Src, e.Dst, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the sentinel cause for errors.Is.
+func (e *CommError) Unwrap() error { return e.Err }
+
+// RetryPolicy is how a runtime recovers from lost messages: per-attempt
+// virtual-time timeouts with capped exponential backoff and a bounded
+// retry count. The zero value means "no policy"; use DefaultRetryPolicy.
+type RetryPolicy struct {
+	// Timeout is the base deadline of one attempt, before the expected
+	// transfer time is added.
+	Timeout sim.Duration
+	// MaxRetries bounds re-sends after the first attempt: an operation
+	// makes at most MaxRetries+1 attempts.
+	MaxRetries int
+	// Backoff is the pause after the first failed attempt; it doubles per
+	// subsequent failure up to MaxBackoff.
+	Backoff sim.Duration
+	// MaxBackoff caps the exponential growth.
+	MaxBackoff sim.Duration
+}
+
+// DefaultRetryPolicy reports the policy fault-aware runtimes use when
+// the caller does not set one. The base timeout comfortably covers a
+// healthy small-message round trip (a few microseconds) and the cap
+// keeps six attempts within a few milliseconds of virtual time.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		Timeout:    500 * sim.Microsecond,
+		MaxRetries: 6,
+		Backoff:    100 * sim.Microsecond,
+		MaxBackoff: 10 * sim.Millisecond,
+	}
+}
+
+// enabled reports whether the policy is usable (a zero policy is not).
+func (rp RetryPolicy) enabled() bool { return rp.Timeout > 0 }
+
+// orDefault replaces a zero policy with the default.
+func (rp RetryPolicy) orDefault() RetryPolicy {
+	if rp.enabled() {
+		return rp
+	}
+	return DefaultRetryPolicy()
+}
+
+// OrDefault replaces a zero policy with DefaultRetryPolicy.
+func (rp RetryPolicy) OrDefault() RetryPolicy { return rp.orDefault() }
+
+// timeoutScaleCap bounds the per-attempt timeout growth: later attempts
+// wait longer (a degraded-but-alive link needs patience, not traffic)
+// but not unboundedly.
+const timeoutScaleCap = 8
+
+// AttemptTimeout reports the deadline of attempt try (0-based) for an
+// operation whose fault-free completion takes about xfer of pure
+// transfer time. The base grows exponentially with the attempt number,
+// capped at timeoutScaleCap, so retries on a degraded link converge
+// instead of storming.
+func (rp RetryPolicy) AttemptTimeout(try int, xfer sim.Duration) sim.Duration {
+	scale := sim.Duration(1) << uint(try)
+	if scale > timeoutScaleCap || scale <= 0 {
+		scale = timeoutScaleCap
+	}
+	return scale*rp.Timeout + 2*xfer
+}
+
+// BackoffFor reports the pause before re-attempt try (1-based: the pause
+// taken after the try'th attempt failed): Backoff doubled per failure,
+// capped at MaxBackoff.
+func (rp RetryPolicy) BackoffFor(try int) sim.Duration {
+	if try < 1 {
+		try = 1
+	}
+	b := rp.Backoff << uint(try-1)
+	if b > rp.MaxBackoff || b <= 0 {
+		b = rp.MaxBackoff
+	}
+	return b
+}

@@ -1,0 +1,163 @@
+// Package fault provides deterministic fault injection for the simulated
+// machine: a declarative JSON schedule of crashes, link degradations,
+// flaps and message-level drop/delay/duplicate rules, an Injector that
+// realizes the schedule against a fabric.Cluster using only the engine's
+// seeded PRNG and virtual clock, and the retry policy the communication
+// runtimes use to recover. Identical (seed, schedule) pairs produce
+// bit-identical runs at any host parallelism, so chaos experiments are
+// exactly reproducible.
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Op names one fault action kind in a schedule.
+type Op string
+
+const (
+	// OpCrash takes a node down at at_s; an optional until_s revives it.
+	// Messages to or from a down node are dropped, including messages
+	// already in flight when it goes down.
+	OpCrash Op = "crash"
+	// OpDegrade scales a named link's capacity by factor at at_s,
+	// restoring the original capacity at until_s (0 = never).
+	OpDegrade Op = "degrade"
+	// OpFlap toggles a named link down and up with half-cycle period_s,
+	// starting down at at_s and forced up at until_s (required).
+	OpFlap Op = "flap"
+	// OpDrop loses matching messages with probability prob.
+	OpDrop Op = "drop"
+	// OpDelay adds extra_s of latency to matching messages with
+	// probability prob.
+	OpDelay Op = "delay"
+	// OpDuplicate delivers matching messages twice with probability prob.
+	OpDuplicate Op = "duplicate"
+)
+
+// Action is one entry of a fault schedule. Times are virtual seconds
+// since simulation start. Src and Dst filter message-level rules by node
+// pair; -1 (the default) matches any node.
+type Action struct {
+	Op     Op      `json:"op"`
+	At     float64 `json:"at_s"`
+	Until  float64 `json:"until_s,omitempty"`
+	Node   int     `json:"node,omitempty"`
+	Link   string  `json:"link,omitempty"`
+	Factor float64 `json:"factor,omitempty"`
+	Period float64 `json:"period_s,omitempty"`
+	Prob   float64 `json:"prob,omitempty"`
+	Extra  float64 `json:"extra_s,omitempty"`
+	Src    int     `json:"src,omitempty"`
+	Dst    int     `json:"dst,omitempty"`
+}
+
+// UnmarshalJSON defaults the Src/Dst filters to -1 (match any) so that
+// schedules only name them when they mean a specific node pair.
+func (a *Action) UnmarshalJSON(b []byte) error {
+	type raw Action // drops methods: no recursion
+	r := raw{Src: -1, Dst: -1}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return err
+	}
+	*a = Action(r)
+	return nil
+}
+
+// Schedule is a declarative fault plan: a list of actions applied at
+// their virtual times. The zero schedule injects nothing.
+type Schedule struct {
+	// Name labels the schedule in errors and logs.
+	Name    string   `json:"name,omitempty"`
+	Actions []Action `json:"actions"`
+}
+
+// Parse decodes a schedule from JSON and validates it.
+func Parse(data []byte) (*Schedule, error) {
+	var s Schedule
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("fault: parse schedule: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads and parses a schedule file.
+func Load(path string) (*Schedule, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fault: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return s, nil
+}
+
+// Validate checks every action's fields for the constraints its op
+// requires. Node existence and link names are checked later, at Install
+// time, against the concrete machine.
+func (s *Schedule) Validate() error {
+	for i := range s.Actions {
+		a := &s.Actions[i]
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("fault: action %d (%s): %s", i, a.Op,
+				fmt.Sprintf(format, args...))
+		}
+		if a.At < 0 {
+			return fail("at_s %g is negative", a.At)
+		}
+		if a.Until != 0 && a.Until <= a.At {
+			return fail("until_s %g not after at_s %g", a.Until, a.At)
+		}
+		switch a.Op {
+		case OpCrash:
+			if a.Node < 0 {
+				return fail("node %d is negative", a.Node)
+			}
+		case OpDegrade:
+			if a.Link == "" {
+				return fail("link name required")
+			}
+			if a.Factor < 0 || a.Factor >= 1 {
+				return fail("factor %g outside [0,1)", a.Factor)
+			}
+		case OpFlap:
+			if a.Link == "" {
+				return fail("link name required")
+			}
+			if a.Period <= 0 {
+				return fail("period_s %g must be positive", a.Period)
+			}
+			if a.Until <= a.At {
+				return fail("until_s required (a flap without an end never stops)")
+			}
+		case OpDrop, OpDelay, OpDuplicate:
+			if a.Prob <= 0 || a.Prob > 1 {
+				return fail("prob %g outside (0,1]", a.Prob)
+			}
+			if a.Op == OpDelay && a.Extra <= 0 {
+				return fail("extra_s %g must be positive", a.Extra)
+			}
+		default:
+			return fail("unknown op")
+		}
+	}
+	return nil
+}
+
+// defaultSchedule is the process-wide schedule new runs inherit,
+// installed by the -faults flag (see tracecli). Mirrors trace.SetDefault.
+var defaultSchedule *Schedule
+
+// SetDefault installs the schedule that fault-aware runtimes inject by
+// default (nil to clear).
+func SetDefault(s *Schedule) { defaultSchedule = s }
+
+// Default reports the process-wide schedule, or nil.
+func Default() *Schedule { return defaultSchedule }

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/upc"
@@ -32,6 +33,7 @@ type state struct {
 	n        int
 	cost     sim.Duration
 	notified int
+	inGen    []bool // which member ranks notified this generation (faults only)
 	ev       *sim.Event
 	collSeq  map[int]int // per-member collective sequence counters
 	colls    []*collSlot
@@ -39,6 +41,9 @@ type state struct {
 
 type collSlot struct {
 	arrived int
+	present []bool // which member ranks contributed (faults only)
+	combine func([]any) any
+	fired   bool
 	vals    []any
 	result  any
 	ev      *sim.Event
@@ -81,6 +86,7 @@ func New(t *upc.Thread, members []int) (*Group, error) {
 		return &state{
 			n:       len(ms),
 			cost:    rt.Cluster.BarrierCost(len(nodes)),
+			inGen:   make([]bool, len(ms)),
 			ev:      &sim.Event{},
 			collSeq: make(map[int]int),
 		}
@@ -127,8 +133,16 @@ func (g *Group) OnOneNode() bool {
 }
 
 // Barrier synchronizes the group's members only, at the dissemination cost
-// of the nodes the group spans (cheap for an intra-node group).
+// of the nodes the group spans (cheap for an intra-node group). Under an
+// installed fault schedule it panics with the typed error BarrierErr would
+// return instead of hanging on a crashed member.
 func (g *Group) Barrier() {
+	if g.T.Runtime().FaultsOn() {
+		if err := g.BarrierErr(); err != nil {
+			panic(err)
+		}
+		return
+	}
 	end := g.T.P.TraceSpanArg("group", "barrier", "", int64(g.st.n))
 	st := g.st
 	ev := st.ev
@@ -142,9 +156,85 @@ func (g *Group) Barrier() {
 	end()
 }
 
+// BarrierErr is Barrier with failure detection: the generation releases
+// once every *live* member has arrived (dead members are skipped), and a
+// barrier that can never release returns a typed error after the retry
+// policy's deadline ladder instead of hanging.
+func (g *Group) BarrierErr() error {
+	t := g.T
+	rt := t.Runtime()
+	if !rt.FaultsOn() {
+		g.Barrier()
+		return nil
+	}
+	if t.Failed() {
+		return &fault.CommError{Op: "group-barrier", Src: t.ID, Dst: t.ID, Err: fault.ErrNodeDown}
+	}
+	end := t.P.TraceSpanArg("group", "barrier", "", int64(g.st.n))
+	defer end()
+	st := g.st
+	ev := st.ev
+	st.notified++
+	st.inGen[g.Rank] = true
+	g.maybeRelease()
+	rp := rt.RetryPolicy()
+	attempts := 0
+	for try := 0; try <= rp.MaxRetries; try++ {
+		attempts++
+		if ev.WaitTimeout(t.P, rp.AttemptTimeout(try, st.cost)) {
+			return nil
+		}
+		t.FaultEvent("timeout", t.ID, 0)
+		if t.Failed() {
+			return &fault.CommError{Op: "group-barrier", Src: t.ID, Dst: t.ID,
+				Attempts: attempts, Err: fault.ErrNodeDown}
+		}
+		// A member may have died since the last check, which is exactly
+		// what completes the generation on the survivors.
+		g.maybeRelease()
+	}
+	return &fault.CommError{Op: "group-barrier", Src: t.ID, Dst: t.ID,
+		Attempts: attempts, Err: fault.ErrTimeout}
+}
+
+// maybeRelease fires the barrier generation once every live member has
+// notified. Called on each arrival and again from the deadline ladder,
+// which picks up members that died mid-generation.
+func (g *Group) maybeRelease() {
+	st := g.st
+	if st.notified == 0 {
+		return
+	}
+	for i, m := range g.Members {
+		if g.T.Alive(m) && !st.inGen[i] {
+			return
+		}
+	}
+	ev := st.ev
+	st.notified = 0
+	for i := range st.inGen {
+		st.inGen[i] = false
+	}
+	st.ev = &sim.Event{}
+	g.T.Runtime().Eng.After(st.cost, ev.Fire)
+}
+
 // collective runs one group-scoped rendezvous (same machinery as the
-// global collectives, keyed per group).
+// global collectives, keyed per group). Under an installed fault schedule
+// it panics with the typed error collectiveErr would return.
 func (g *Group) collective(val any, combine func([]any) any) any {
+	r, err := g.collectiveErr(val, combine)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// collectiveErr joins the member's next collective slot. With faults
+// installed the slot fires once every live member has contributed — dead
+// members' slots stay nil and combine closures skip them — and a
+// rendezvous that can never complete returns a typed error.
+func (g *Group) collectiveErr(val any, combine func([]any) any) (any, error) {
 	end := g.T.P.TraceSpanArg("group", "collective", "", int64(g.st.n))
 	defer end()
 	st := g.st
@@ -154,38 +244,97 @@ func (g *Group) collective(val any, combine func([]any) any) any {
 		st.colls = append(st.colls, nil)
 	}
 	if st.colls[seq] == nil {
-		st.colls[seq] = &collSlot{vals: make([]any, st.n), ev: &sim.Event{}}
+		st.colls[seq] = &collSlot{vals: make([]any, st.n), present: make([]bool, st.n), ev: &sim.Event{}}
 	}
 	slot := st.colls[seq]
 	slot.vals[g.Rank] = val
 	slot.arrived++
-	if slot.arrived == st.n {
-		slot.result = combine(slot.vals)
-		g.T.Runtime().Eng.After(st.cost, slot.ev.Fire)
+	t := g.T
+	rt := t.Runtime()
+	if !rt.FaultsOn() {
+		if slot.arrived == st.n {
+			slot.result = combine(slot.vals)
+			rt.Eng.After(st.cost, slot.ev.Fire)
+		}
+		slot.ev.Wait(t.P)
+		return slot.result, nil
 	}
-	slot.ev.Wait(g.T.P)
-	return slot.result
+	if t.Failed() {
+		return nil, &fault.CommError{Op: "group-collective", Src: t.ID, Dst: t.ID, Err: fault.ErrNodeDown}
+	}
+	slot.present[g.Rank] = true
+	slot.combine = combine
+	g.maybeFire(slot)
+	rp := rt.RetryPolicy()
+	attempts := 0
+	for try := 0; try <= rp.MaxRetries; try++ {
+		attempts++
+		if slot.ev.WaitTimeout(t.P, rp.AttemptTimeout(try, st.cost)) {
+			return slot.result, nil
+		}
+		t.FaultEvent("timeout", t.ID, 0)
+		if t.Failed() {
+			return nil, &fault.CommError{Op: "group-collective", Src: t.ID, Dst: t.ID,
+				Attempts: attempts, Err: fault.ErrNodeDown}
+		}
+		g.maybeFire(slot)
+	}
+	return nil, &fault.CommError{Op: "group-collective", Src: t.ID, Dst: t.ID,
+		Attempts: attempts, Err: fault.ErrTimeout}
+}
+
+// maybeFire fires a collective slot once every live member is present.
+func (g *Group) maybeFire(slot *collSlot) {
+	if slot.fired || slot.arrived == 0 {
+		return
+	}
+	for i, m := range g.Members {
+		if g.T.Alive(m) && !slot.present[i] {
+			return
+		}
+	}
+	slot.fired = true
+	slot.result = slot.combine(slot.vals)
+	g.T.Runtime().Eng.After(g.st.cost, slot.ev.Fire)
 }
 
 // ReduceSum sums one float64 contribution per member and returns the total
-// on every member.
+// on every member. Dead members contribute zero.
 func (g *Group) ReduceSum(v float64) float64 {
-	r := g.collective(v, func(vals []any) any {
+	r, err := g.ReduceSumErr(v)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ReduceSumErr is ReduceSum with failure detection: it completes over the
+// live members and returns a typed error when the rendezvous cannot.
+func (g *Group) ReduceSumErr(v float64) (float64, error) {
+	r, err := g.collectiveErr(v, func(vals []any) any {
 		s := 0.0
 		for _, x := range vals {
-			s += x.(float64)
+			if x != nil {
+				s += x.(float64)
+			}
 		}
 		return s
 	})
-	return r.(float64)
+	if err != nil {
+		return 0, err
+	}
+	return r.(float64), nil
 }
 
-// ReduceSumInt sums one int64 contribution per member.
+// ReduceSumInt sums one int64 contribution per member. Dead members
+// contribute zero.
 func (g *Group) ReduceSumInt(v int64) int64 {
 	r := g.collective(v, func(vals []any) any {
 		var s int64
 		for _, x := range vals {
-			s += x.(int64)
+			if x != nil {
+				s += x.(int64)
+			}
 		}
 		return s
 	})

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/fabric"
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/trace"
@@ -35,6 +36,13 @@ type Config struct {
 	// Tracer, when non-nil, receives the run's trace events in addition to
 	// any process-default tracer (see internal/trace).
 	Tracer trace.Tracer
+	// Faults, when non-nil, overrides the process-default fault schedule
+	// (see internal/fault). The library then retransmits lost messages
+	// under Retry and surfaces unrecoverable failures as typed errors.
+	Faults *fault.Schedule
+	// Retry tunes recovery when a fault schedule is installed; zero
+	// fields take fault.DefaultRetryPolicy.
+	Retry fault.RetryPolicy
 }
 
 // World is the per-execution state shared by all ranks.
@@ -53,10 +61,14 @@ type World struct {
 	barCost sim.Duration
 	bar     *barrier
 	colls   []*collSlot
+
+	inj   *fault.Injector
+	retry fault.RetryPolicy
 }
 
 type message struct {
 	src     int
+	bytes   int64
 	data    []byte
 	arrived *sim.Event
 }
@@ -152,11 +164,23 @@ func NewWorld(cfg Config) (*World, error) {
 	w.barCost = cl.BarrierCost(w.nodes)
 	w.bar = &barrier{n: cfg.Ranks, ev: &sim.Event{}}
 	for i := range w.eps {
-		w.eps[i] = cl.NewEndpoint(places[i].Node)
+		w.eps[i] = cl.MustEndpoint(places[i].Node)
 	}
 	w.comms = make([]*Comm, cfg.Ranks)
 	for i := range w.comms {
 		w.comms[i] = &Comm{w: w, Rank: i, Size: cfg.Ranks, Place: places[i], ep: w.eps[i]}
+	}
+	sched := cfg.Faults
+	if sched == nil {
+		sched = fault.Default()
+	}
+	inj, err := fault.Install(cl, sched)
+	if err != nil {
+		return nil, err
+	}
+	if inj != nil {
+		w.inj = inj
+		w.retry = cfg.Retry.OrDefault()
 	}
 	return w, nil
 }
@@ -189,9 +213,22 @@ func (c *Comm) transfer(dst int, bytes int64, apply func()) *fabric.NetOp {
 			trace.PackEndpoints(c.Rank, dst, c.Place.Node, dstPlace.Node))
 	}
 	if sameNode {
-		return w.Cluster.MemCopyAsync(c.P, c.Place, dstPlace, bytes, smOverhead, apply)
+		op, err := w.Cluster.MemCopyAsync(c.P, c.Place, dstPlace, bytes, smOverhead, apply)
+		if err != nil {
+			panic(err) // unreachable: sameNode just checked
+		}
+		return op
 	}
 	return c.ep.PutAsync(c.P, w.eps[dst], bytes, apply)
+}
+
+// post enqueues a matching record of the given byte volume at the
+// destination and starts its transfer.
+func (c *Comm) post(dst int, bytes int64, data []byte) (*fabric.NetOp, *message) {
+	msg := &message{src: c.Rank, bytes: bytes, data: data, arrived: &sim.Event{}}
+	c.w.inbox[dst] = append(c.w.inbox[dst], msg)
+	c.w.rxQ[dst].WakeAll()
+	return c.transfer(dst, bytes, msg.arrived.Fire), msg
 }
 
 // isend snapshots data, enqueues the matching record at the destination,
@@ -199,22 +236,18 @@ func (c *Comm) transfer(dst int, bytes int64, apply func()) *fabric.NetOp {
 func (c *Comm) isend(dst int, data []byte) *fabric.NetOp {
 	snap := make([]byte, len(data))
 	copy(snap, data)
-	msg := &message{src: c.Rank, data: snap, arrived: &sim.Event{}}
-	c.w.inbox[dst] = append(c.w.inbox[dst], msg)
-	c.w.rxQ[dst].WakeAll()
-	return c.transfer(dst, int64(len(data)), msg.arrived.Fire)
+	op, _ := c.post(dst, int64(len(data)), snap)
+	return op
 }
 
 // Send delivers data to rank dst (MPI_Send). Messages at or below the
 // eager threshold complete when the payload leaves the source buffer;
 // larger messages use the rendezvous protocol and return after the
-// transfer drains.
+// transfer drains. Under an installed fault schedule it recovers lost
+// messages and panics with the typed error SendErr would return.
 func (c *Comm) Send(dst int, data []byte) {
-	op := c.isend(dst, data)
-	if len(data) <= EagerThreshold {
-		op.WaitLocal(c.P)
-	} else {
-		op.WaitRemote(c.P)
+	if err := c.SendErr(dst, data); err != nil {
+		panic(err)
 	}
 }
 
@@ -222,43 +255,58 @@ func (c *Comm) Send(dst int, data []byte) {
 // rank dst: the model-mode transfer for benchmark geometries too large to
 // materialize. Blocking semantics match Send.
 func (c *Comm) SendModel(dst int, bytes int64) {
-	msg := &message{src: c.Rank, arrived: &sim.Event{}}
-	c.w.inbox[dst] = append(c.w.inbox[dst], msg)
-	c.w.rxQ[dst].WakeAll()
-	op := c.transfer(dst, bytes, msg.arrived.Fire)
-	if bytes <= EagerThreshold {
-		op.WaitLocal(c.P)
-	} else {
-		op.WaitRemote(c.P)
+	if err := c.SendModelErr(dst, bytes); err != nil {
+		panic(err)
 	}
 }
 
 // SendrecvModel is the payload-free form of Sendrecv.
 func (c *Comm) SendrecvModel(dst int, bytes int64, src int) {
-	msg := &message{src: c.Rank, arrived: &sim.Event{}}
-	c.w.inbox[dst] = append(c.w.inbox[dst], msg)
-	c.w.rxQ[dst].WakeAll()
-	op := c.transfer(dst, bytes, msg.arrived.Fire)
+	op, _ := c.post(dst, bytes, nil)
 	c.Recv(src)
 	op.WaitLocal(c.P)
 }
 
 // Recv blocks until a message from src arrives and returns its payload
 // (MPI_Recv with an explicit source). Messages from one source are
-// delivered in send order.
+// delivered in send order. Under an installed fault schedule it recovers
+// lost messages and panics with the typed error RecvErr would return.
 func (c *Comm) Recv(src int) []byte {
+	if c.w.faultsOn() {
+		data, err := c.RecvErr(src)
+		if err != nil {
+			panic(err)
+		}
+		return data
+	}
+	m := c.match(src)
+	m.arrived.Wait(c.P)
+	return m.data
+}
+
+// match dequeues the oldest inbox record from src, blocking until one is
+// posted.
+func (c *Comm) match(src int) *message {
 	w := c.w
 	for {
-		for i, m := range w.inbox[c.Rank] {
-			if m.src != src {
-				continue
-			}
-			w.inbox[c.Rank] = append(w.inbox[c.Rank][:i], w.inbox[c.Rank][i+1:]...)
-			m.arrived.Wait(c.P)
-			return m.data
+		if m := c.matchNow(src); m != nil {
+			return m
 		}
 		w.rxQ[c.Rank].Wait(c.P, "mpi-recv")
 	}
+}
+
+// matchNow dequeues the oldest inbox record from src without blocking.
+func (c *Comm) matchNow(src int) *message {
+	w := c.w
+	for i, m := range w.inbox[c.Rank] {
+		if m.src != src {
+			continue
+		}
+		w.inbox[c.Rank] = append(w.inbox[c.Rank][:i], w.inbox[c.Rank][i+1:]...)
+		return m
+	}
+	return nil
 }
 
 // Sendrecv sends data to dst and receives a payload from src without
@@ -271,8 +319,23 @@ func (c *Comm) Sendrecv(dst int, data []byte, src int) []byte {
 	return in
 }
 
-// Barrier synchronizes all ranks (MPI_Barrier).
+// Barrier synchronizes all ranks (MPI_Barrier). Under an installed fault
+// schedule it panics with the typed error BarrierErr would return
+// instead of hanging on a crashed rank.
 func (c *Comm) Barrier() {
+	if c.w.faultsOn() {
+		if err := c.BarrierErr(); err != nil {
+			panic(err)
+		}
+		return
+	}
+	ev := c.notifyBarrier()
+	ev.Wait(c.P)
+}
+
+// notifyBarrier registers arrival at the world barrier and returns the
+// generation's release event; the last arrival books the release.
+func (c *Comm) notifyBarrier() *sim.Event {
 	b := c.w.bar
 	ev := b.ev
 	b.arrived++
@@ -281,7 +344,7 @@ func (c *Comm) Barrier() {
 		b.ev = &sim.Event{}
 		c.w.Eng.After(c.w.barCost, ev.Fire)
 	}
-	ev.Wait(c.P)
+	return ev
 }
 
 // AllreduceSum sums one float64 per rank on every rank (MPI_Allreduce).
@@ -311,6 +374,17 @@ func (c *Comm) AllreduceMax(v float64) float64 {
 }
 
 func (c *Comm) collective(val any, combine func([]any) any) any {
+	r, err := c.collectiveErr(val, combine)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// collectiveErr joins the rank's next collective slot and waits for its
+// release — through the failure-detecting deadline ladder when a fault
+// schedule is installed.
+func (c *Comm) collectiveErr(val any, combine func([]any) any) (any, error) {
 	w := c.w
 	for len(w.colls) <= c.collSeq {
 		w.colls = append(w.colls, nil)
@@ -326,8 +400,17 @@ func (c *Comm) collective(val any, combine func([]any) any) any {
 		slot.result = combine(slot.vals)
 		w.Eng.After(w.barCost, slot.ev.Fire)
 	}
-	slot.ev.Wait(c.P)
-	return slot.result
+	if !w.faultsOn() {
+		slot.ev.Wait(c.P)
+		return slot.result, nil
+	}
+	if w.nodeDown(c.Place.Node) {
+		return nil, c.commError("allreduce", c.Rank, 0, fault.ErrNodeDown)
+	}
+	if err := c.waitLadder(slot.ev, "allreduce", w.barCost); err != nil {
+		return nil, err
+	}
+	return slot.result, nil
 }
 
 // Request is a handle to a non-blocking point-to-point operation.

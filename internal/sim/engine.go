@@ -373,6 +373,52 @@ func (q *WaitQueue) grow() {
 	q.head = 0
 }
 
+// Remove deletes p from the queue without waking it, reporting whether it
+// was present. The remaining waiters keep their FIFO order. It is the
+// cancellation half of a timed wait: the canceller removes the process
+// and schedules its wake itself.
+func (q *WaitQueue) Remove(p *Proc) bool {
+	for i := 0; i < q.n; i++ {
+		if q.buf[(q.head+i)&(len(q.buf)-1)] != p {
+			continue
+		}
+		for j := i; j < q.n-1; j++ {
+			a := (q.head + j) & (len(q.buf) - 1)
+			b := (q.head + j + 1) & (len(q.buf) - 1)
+			q.buf[a] = q.buf[b]
+		}
+		q.buf[(q.head+q.n-1)&(len(q.buf)-1)] = nil
+		q.n--
+		return true
+	}
+	return false
+}
+
+// WaitTimeout parks p on the queue until a wake reaches it or d elapses,
+// reporting whether the wake came from the queue (true) or from the
+// timer (false). Callers use it under a predicate loop exactly like
+// Wait, re-checking their condition either way: a false return only
+// means the deadline passed, and in the rare coincidence of a same-tick
+// wake and expiry the condition may in fact hold. As with
+// Event.WaitTimeout, the timer event stays on the heap until its time
+// arrives, so fault-free fast paths should use Wait.
+func (q *WaitQueue) WaitTimeout(p *Proc, reason string, d Duration) bool {
+	woken := false
+	expired := false
+	p.eng.After(d, func() {
+		if woken || expired {
+			return
+		}
+		expired = true
+		if q.Remove(p) {
+			p.eng.unpark(p)
+		}
+	})
+	q.Wait(p, reason)
+	woken = true
+	return !expired
+}
+
 // WakeOne unparks the longest-waiting process, reporting whether one
 // existed. Must be called from simulation context.
 func (q *WaitQueue) WakeOne() bool {

@@ -17,3 +17,4 @@ func BenchmarkAdvance(b *testing.B)           { simbench.Advance(b) }
 func BenchmarkBarrierStorm1k(b *testing.B)    { simbench.BarrierStorm1k(b) }
 func BenchmarkServerDelay(b *testing.B)       { simbench.ServerDelay(b) }
 func BenchmarkSharedLink32Flows(b *testing.B) { simbench.SharedLink32Flows(b) }
+func BenchmarkFabricPut(b *testing.B)         { simbench.FabricPut(b) }

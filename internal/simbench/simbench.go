@@ -14,7 +14,9 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/fabric"
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 // PingPongYield is the headline handoff benchmark: two processes
@@ -112,6 +114,29 @@ func SharedLink32Flows(b *testing.B) {
 	}
 }
 
+// FabricPut measures the untraced, fault-free cross-node blocking put —
+// the network hot path every PGAS operation rides. With no fault
+// schedule installed the injection hooks reduce to two nil checks, so
+// the recorded allocs/op pins the fault layer's disabled cost: any
+// allocation it grows here fails upc-bench -check (allocs comparisons
+// are exact).
+func FabricPut(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.New(1)
+	c := fabric.NewCluster(e, topo.Pyramid(), fabric.QDRInfiniBand())
+	src := c.MustEndpoint(0)
+	dst := c.MustEndpoint(1)
+	e.Go("p", func(p *sim.Proc) {
+		for n := 0; n < b.N; n++ {
+			src.Put(p, dst, 8, nil)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // All lists the recorded microbenchmarks in BENCH_sim.json order.
 var All = []struct {
 	Name string
@@ -122,4 +147,5 @@ var All = []struct {
 	{"BarrierStorm1k", BarrierStorm1k},
 	{"ServerDelay", ServerDelay},
 	{"SharedLink32Flows", SharedLink32Flows},
+	{"FabricPut", FabricPut},
 }

@@ -33,6 +33,14 @@ const (
 	ClassLoopback = "loopback"
 	// ClassNetwork is a cross-node transfer on the conduit.
 	ClassNetwork = "network"
+	// ClassFault marks recovery-visibility events rather than transfers:
+	// drops, duplicates and delays injected by the fault layer (emitted by
+	// fabric with node-only endpoint coordinates) and the runtime's
+	// reactions — timeouts, retries, failovers — emitted with full thread
+	// endpoints. Arg carries the affected byte volume. The comm-matrix
+	// collector aggregates them like any other class, so recovery activity
+	// is visible per endpoint pair in the manifest.
+	ClassFault = "fault"
 )
 
 // endpointMask limits each packed endpoint coordinate to 16 bits: 65536

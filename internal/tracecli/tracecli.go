@@ -1,6 +1,6 @@
 // Package tracecli wires the shared flags of the cmd/upc-* binaries:
-// importing it registers -trace, -digest, -metrics and -parallel, and
-// Start/Finish bracket the run. With -trace=out.json every engine the
+// importing it registers -trace, -digest, -metrics, -parallel and
+// -faults, and Start/Finish bracket the run. With -trace=out.json every engine the
 // run creates streams into one Chrome trace-event file (open it in
 // Perfetto or chrome://tracing), and the run's TraceDigest — an
 // order-sensitive hash of the full event stream, identical across
@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/sweep"
 	"repro/internal/trace"
@@ -40,6 +41,10 @@ var metricsPath = flag.String("metrics", "",
 
 var parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 	"worker threads for experiment sweeps (1 = sequential; output is identical at any value)")
+
+var faultsPath = flag.String("faults", "",
+	"JSON fault schedule to inject into every run (see internal/fault); "+
+		"the run then exercises the self-healing comm runtime, deterministically")
 
 var sess *trace.Session
 var coll *metrics.Collection
@@ -58,6 +63,17 @@ func Start() {
 // start is Start without the exit, for tests.
 func start() error {
 	sweep.SetWorkers(*parallel)
+	// The fault schedule is installed before the tracing early-return:
+	// -faults works on its own, without any tracing flag.
+	if *faultsPath != "" {
+		sched, err := fault.Load(*faultsPath)
+		if err != nil {
+			return err
+		}
+		fault.SetDefault(sched)
+	} else {
+		fault.SetDefault(nil)
+	}
 	if *path == "" && !*digest && *metricsPath == "" {
 		return nil
 	}

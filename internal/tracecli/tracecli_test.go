@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/sweep"
@@ -158,6 +159,51 @@ func TestMetricsExport(t *testing.T) {
 	// The digest the manifest records is the session's.
 	if !strings.Contains(b.String(), m.Digest) {
 		t.Errorf("manifest digest %s not in digest line %q", m.Digest, b.String())
+	}
+}
+
+func TestFaultsFlagInstallsDefaultSchedule(t *testing.T) {
+	spath := filepath.Join(t.TempDir(), "sched.json")
+	if err := os.WriteFile(spath, []byte(
+		`{"name":"cli","actions":[{"op":"drop","at_s":0,"until_s":1,"prob":0.5}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	setFlags(t, map[string]string{"faults": spath})
+	t.Cleanup(func() { fault.SetDefault(nil) })
+	if err := start(); err != nil {
+		t.Fatal(err)
+	}
+	s := fault.Default()
+	if s == nil || s.Name != "cli" || len(s.Actions) != 1 || s.Actions[0].Src != -1 {
+		t.Fatalf("installed default schedule = %+v", s)
+	}
+
+	// Clearing the flag clears the process default on the next Start.
+	setFlags(t, map[string]string{"faults": ""})
+	if err := start(); err != nil {
+		t.Fatal(err)
+	}
+	if fault.Default() != nil {
+		t.Error("empty -faults must clear the default schedule")
+	}
+}
+
+func TestFaultsFlagRejectsBadSchedule(t *testing.T) {
+	spath := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(spath, []byte(
+		`{"actions":[{"op":"drop","at_s":0,"prob":7}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	setFlags(t, map[string]string{"faults": spath})
+	t.Cleanup(func() { fault.SetDefault(nil) })
+	if err := start(); err == nil {
+		t.Fatal("start accepted a schedule with prob outside (0,1]")
+	}
+	if err := start(); err == nil {
+		t.Fatal("retry should fail the same way")
+	}
+	if fault.Default() != nil {
+		t.Error("failed start left a default schedule installed")
 	}
 }
 

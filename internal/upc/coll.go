@@ -12,7 +12,11 @@ import (
 
 type collSlot struct {
 	arrived int
+	present []bool // which threads contributed (faults only)
 	vals    []any
+	bytes   int64
+	combine func(vals []any) any
+	fired   bool
 	result  any
 	ev      *sim.Event
 }
@@ -23,11 +27,31 @@ func (rt *Runtime) collSlot(seq int) *collSlot {
 	}
 	if rt.colls[seq] == nil {
 		rt.colls[seq] = &collSlot{
-			vals: make([]any, rt.Cfg.Threads),
-			ev:   &sim.Event{},
+			vals:    make([]any, rt.Cfg.Threads),
+			present: make([]bool, rt.Cfg.Threads),
+			ev:      &sim.Event{},
 		}
 	}
 	return rt.colls[seq]
+}
+
+// fire combines the contributions received so far and books the release.
+// Under fault injection a dead thread's entry in vals stays nil; combine
+// closures skip nil entries.
+func (slot *collSlot) fire(rt *Runtime) {
+	slot.fired = true
+	slot.result = slot.combine(slot.vals)
+	rt.Eng.After(rt.collCost(slot.bytes), slot.ev.Fire)
+}
+
+// complete reports whether every live thread has contributed.
+func (slot *collSlot) complete(rt *Runtime) bool {
+	for i, p := range slot.present {
+		if !p && !rt.dead[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // collCost models a binomial-tree collective moving bytes per round:
@@ -45,18 +69,28 @@ func (rt *Runtime) collCost(bytes int64) sim.Duration {
 }
 
 // runCollective enters thread t's next collective with contribution val;
-// the last arrival runs combine over all contributions (indexed by thread
-// id) and every thread returns the combined result after the tree cost for
-// the given payload size.
+// the last live arrival runs combine over the contributions (indexed by
+// thread id; entries of crashed threads are nil) and every participant
+// returns the combined result after the tree cost for the given payload
+// size. Retiring threads re-check in-progress slots (Thread.Retire), so
+// a crash between two threads' arrivals does not hang the survivors.
 func runCollective(t *Thread, val any, bytes int64, combine func(vals []any) any) any {
 	end := t.P.TraceSpanArg("upc", "collective", "", bytes)
-	slot := t.rt.collSlot(t.collSeq)
+	rt := t.rt
+	slot := rt.collSlot(t.collSeq)
 	t.collSeq++
 	slot.vals[t.ID] = val
+	slot.present[t.ID] = true
 	slot.arrived++
-	if slot.arrived == t.N {
-		slot.result = combine(slot.vals)
-		t.rt.Eng.After(t.rt.collCost(bytes), slot.ev.Fire)
+	if slot.combine == nil {
+		slot.combine, slot.bytes = combine, bytes
+	}
+	if !rt.faultsOn() {
+		if slot.arrived == t.N {
+			slot.fire(rt)
+		}
+	} else if !slot.fired && slot.complete(rt) {
+		slot.fire(rt)
 	}
 	slot.ev.Wait(t.P)
 	end()
@@ -65,10 +99,20 @@ func runCollective(t *Thread, val any, bytes int64, combine func(vals []any) any
 
 // AllReduce combines one value per thread with an associative operator and
 // returns the reduction on every thread (upc_all_reduce + broadcast).
+// Under fault injection, threads that crashed before contributing are
+// simply absent from the reduction.
 func AllReduce[T any](t *Thread, val T, elemBytes int, combine func(a, b T) T) T {
 	r := runCollective(t, val, int64(elemBytes), func(vals []any) any {
-		acc := vals[0].(T)
-		for _, v := range vals[1:] {
+		var acc T
+		first := true
+		for _, v := range vals {
+			if v == nil {
+				continue // crashed before contributing
+			}
+			if first {
+				acc, first = v.(T), false
+				continue
+			}
 			acc = combine(acc, v.(T))
 		}
 		return acc
@@ -97,6 +141,8 @@ func AllReduceSumInt(t *Thread, v int64) int64 {
 }
 
 // Broadcast distributes root's value to every thread (upc_all_broadcast).
+// Under fault injection the root must contribute before crashing; fault
+// schedules must keep the broadcast root's node alive.
 func Broadcast[T any](t *Thread, root int, val T, elemBytes int) T {
 	r := runCollective(t, val, int64(elemBytes), func(vals []any) any {
 		return vals[root]
@@ -105,12 +151,15 @@ func Broadcast[T any](t *Thread, root int, val T, elemBytes int) T {
 }
 
 // AllGather returns the slice of every thread's contribution, indexed by
-// thread id, on every thread (upc_all_gather_all).
+// thread id, on every thread (upc_all_gather_all). Entries of threads
+// that crashed before contributing are the zero value.
 func AllGather[T any](t *Thread, val T, elemBytes int) []T {
 	r := runCollective(t, val, int64(elemBytes)*int64(t.N), func(vals []any) any {
 		out := make([]T, len(vals))
 		for i, v := range vals {
-			out[i] = v.(T)
+			if v != nil {
+				out[i] = v.(T)
+			}
 		}
 		return out
 	})

@@ -1,0 +1,27 @@
+package upc
+
+import "fmt"
+
+// RangeError is the typed error of a shared-array access outside the
+// owner's partition. The legacy APIs panic with it as the panic value;
+// the Err variants return it.
+type RangeError struct {
+	Op      string // "Put", "Get", "Copy(src)", ...
+	Off     int    // requested start offset
+	N       int    // requested element count
+	PartLen int    // owner's partition length
+}
+
+func (e *RangeError) Error() string {
+	return fmt.Sprintf("upc: %s range [%d:%d) outside partition of %d elements",
+		e.Op, e.Off, e.Off+e.N, e.PartLen)
+}
+
+// checkRangeErr validates a partition-relative range, returning the
+// typed error on misuse.
+func checkRangeErr(partLen, off, n int, op string) error {
+	if off < 0 || n < 0 || off+n > partLen {
+		return &RangeError{Op: op, Off: off, N: n, PartLen: partLen}
+	}
+	return nil
+}

@@ -1,0 +1,332 @@
+package upc
+
+import (
+	"repro/internal/fabric"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// Self-healing layer: when a fault schedule is installed (Config.Faults
+// or the process default), one-sided operations on network paths gain
+// virtual-time timeouts with capped exponential backoff and bounded
+// retries, barriers and collectives release on the live threads alone,
+// and applications can poll Failed/Alive and Retire crashed threads so
+// the survivors finish the run. Without a schedule every hook collapses
+// to a nil check and the runtime behaves exactly as before.
+
+// faultsOn reports whether this run has a fault schedule installed.
+func (rt *Runtime) faultsOn() bool { return rt.inj != nil }
+
+// FaultsOn reports whether a fault schedule is installed on this run.
+func (rt *Runtime) FaultsOn() bool { return rt.faultsOn() }
+
+// RetryPolicy reports the run's active retry policy (zero when no fault
+// schedule is installed).
+func (rt *Runtime) RetryPolicy() fault.RetryPolicy { return rt.retry }
+
+// LiveThreads reports how many threads have not retired.
+func (rt *Runtime) LiveThreads() int { return rt.Cfg.Threads - rt.nDead }
+
+// Failed reports whether this thread's own node is crashed under the
+// run's fault schedule. Fault-tolerant applications poll it at work-loop
+// boundaries and Retire when it reports true.
+func (t *Thread) Failed() bool {
+	return t.rt.faultsOn() && t.rt.Cluster.NodeDown(t.Place.Node)
+}
+
+// Alive reports whether peer is usable as a communication target: it has
+// not retired and its node is up. Always true without a fault schedule.
+func (t *Thread) Alive(peer int) bool {
+	rt := t.rt
+	if !rt.faultsOn() {
+		return true
+	}
+	return !rt.dead[peer] && !rt.Cluster.NodeDown(rt.places[peer].Node)
+}
+
+// Retire removes this thread from the SPMD collective population after
+// its node crashed: the in-progress barrier generation and collective
+// slots re-check for release on the survivors alone, and future ones
+// never wait for it. Idempotent; the thread must not issue further
+// barriers or collectives afterwards.
+func (t *Thread) Retire() {
+	rt := t.rt
+	if rt.dead[t.ID] {
+		return
+	}
+	rt.dead[t.ID] = true
+	rt.nDead++
+	t.FaultEvent("retire", t.ID, 0)
+	rt.bar.maybeRelease(rt)
+	for _, slot := range rt.colls {
+		if slot != nil && !slot.fired && slot.combine != nil && slot.complete(rt) {
+			slot.fire(rt)
+		}
+	}
+}
+
+// FaultEvent emits one recovery-visibility instant (comm-matrix class
+// fault) from this thread toward peer: timeouts, retries, failovers.
+// Free when untraced.
+func (t *Thread) FaultEvent(name string, peer int, bytes int64) {
+	if !t.rt.Eng.Tracing() {
+		return
+	}
+	t.P.TraceInstant(trace.CatComm, name, trace.ClassFault, bytes,
+		trace.PackEndpoints(t.ID, peer, t.Place.Node, t.rt.places[peer].Node))
+}
+
+// networkPath reports whether a transfer to peer crosses the NIC (the
+// conduit or its loopback) — the paths where messages can be lost.
+// Shared-memory copies are not subject to message faults.
+func (t *Thread) networkPath(peer int) bool {
+	if peer == t.ID {
+		return false
+	}
+	return !(topo.SameNode(t.Place, t.rt.places[peer]) && t.rt.Cfg.sharedMem())
+}
+
+// retriable reports whether an op toward peer needs timeout/retry
+// protection: only network paths under an installed fault schedule.
+func (t *Thread) retriable(peer int) bool {
+	return t.rt.faultsOn() && t.networkPath(peer)
+}
+
+// expectXfer estimates the fault-free completion time of a transfer, fed
+// into the retry policy's per-attempt timeouts so big payloads on slow
+// conduits are not declared lost while still streaming.
+func (t *Thread) expectXfer(bytes int64) sim.Duration {
+	cond := &t.rt.Cluster.Conduit
+	return 2*cond.Latency + sim.TransferTime(bytes, cond.ConnBW)
+}
+
+// commError builds the typed failure of an exhausted recovery.
+func (t *Thread) commError(op string, peer, attempts int, cause error) error {
+	return &fault.CommError{Op: op, Src: t.ID, Dst: peer, Attempts: attempts, Err: cause}
+}
+
+// reliableWait drives an already-issued network op to completion under
+// the retry policy: each attempt gets a growing virtual-time deadline;
+// on timeout the op is re-issued after a capped exponential backoff
+// (payload applies are idempotent copies, so a late original delivery or
+// an injected duplicate is harmless). Returns the op that completed, or
+// a typed CommError when retries are exhausted or a node died.
+func (t *Thread) reliableWait(opName string, peer int, bytes int64,
+	op *fabric.NetOp, reissue func() *fabric.NetOp) (*fabric.NetOp, error) {
+	rp := t.rt.retry
+	xfer := t.expectXfer(bytes)
+	attempts := 1
+	for try := 0; ; try++ {
+		if op.Remote.WaitTimeout(t.P, rp.AttemptTimeout(try, xfer)) {
+			return op, nil
+		}
+		t.FaultEvent("timeout", peer, bytes)
+		if t.Failed() || !t.Alive(peer) {
+			return nil, t.commError(opName, peer, attempts, fault.ErrNodeDown)
+		}
+		if try >= rp.MaxRetries {
+			return nil, t.commError(opName, peer, attempts, fault.ErrTimeout)
+		}
+		t.P.Advance(rp.BackoffFor(try + 1))
+		// The peer may have crashed while we backed off.
+		if t.Failed() || !t.Alive(peer) {
+			return nil, t.commError(opName, peer, attempts, fault.ErrNodeDown)
+		}
+		t.FaultEvent("retry", peer, bytes)
+		op = reissue()
+		attempts++
+	}
+}
+
+// armRetry attaches the retry context to a freshly issued async handle
+// when the op needs protection; WaitSync then recovers lost messages
+// transparently. No-op (and no allocation is retained) otherwise.
+func (t *Thread) armRetry(h *Handle, opName string, peer int, bytes int64,
+	reissue func() *fabric.NetOp) {
+	if !t.retriable(peer) {
+		return
+	}
+	h.t, h.opName, h.peer, h.bytes, h.reissue = t, opName, peer, bytes, reissue
+}
+
+// WaitSyncErr blocks until the asynchronous operation completes,
+// recovering lost messages under the run's retry policy when the handle
+// was issued on a protected path. It is the error-returning form of
+// WaitSync.
+func (t *Thread) WaitSyncErr(h *Handle) error {
+	if h.op == nil {
+		return nil
+	}
+	if h.reissue == nil {
+		h.op.WaitRemote(t.P)
+		return nil
+	}
+	op, err := t.reliableWait(h.opName, h.peer, h.bytes, h.op, h.reissue)
+	h.reissue = nil
+	if err != nil {
+		return err
+	}
+	h.op = op
+	return nil
+}
+
+// BarrierErr is Barrier with failure detection: instead of hanging when
+// the barrier can never release, it gives up after the retry policy's
+// deadline ladder and returns a typed error. A barrier that is merely
+// slow (survivors still arriving within the deadlines) succeeds.
+func (t *Thread) BarrierErr() error {
+	rt := t.rt
+	if !rt.faultsOn() {
+		t.Barrier()
+		return nil
+	}
+	if t.Failed() {
+		return t.commError("barrier", t.ID, 0, fault.ErrNodeDown)
+	}
+	end := t.P.TraceSpan("upc", "barrier")
+	defer end()
+	ev := rt.bar.notify(rt, t.ID)
+	rp := rt.retry
+	attempts := 0
+	for try := 0; try <= rp.MaxRetries; try++ {
+		attempts++
+		if ev.WaitTimeout(t.P, rp.AttemptTimeout(try, rt.barCost)) {
+			return nil
+		}
+		t.FaultEvent("timeout", t.ID, 0)
+		if t.Failed() {
+			return t.commError("barrier", t.ID, attempts, fault.ErrNodeDown)
+		}
+	}
+	return t.commError("barrier", t.ID, attempts, fault.ErrTimeout)
+}
+
+// ---- Error-returning one-sided operations ----
+//
+// The Err variants recover from injected message loss on network paths
+// and surface unrecoverable failures (crashed nodes, exhausted retries,
+// out-of-range accesses) as typed errors. The legacy void forms delegate
+// to them and panic on error, preserving their historical contract.
+
+// PutBytesErr is PutBytes with fault recovery and typed errors.
+func (t *Thread) PutBytesErr(dst int, bytes int64) error {
+	h, err := t.putBytesAsyncErr(dst, bytes, nil)
+	if err != nil {
+		return err
+	}
+	if err := t.WaitSyncErr(h); err != nil {
+		return err
+	}
+	t.remoteAck(dst)
+	return nil
+}
+
+// GetBytesErr is GetBytes with fault recovery and typed errors.
+func (t *Thread) GetBytesErr(src int, bytes int64) error {
+	if t.retriable(src) && (t.Failed() || !t.Alive(src)) {
+		return t.commError("get", src, 0, fault.ErrNodeDown)
+	}
+	issue := func() *fabric.NetOp { return t.getBytes(src, bytes, nil) }
+	h := &Handle{op: issue()}
+	t.armRetry(h, "get", src, bytes, issue)
+	return t.WaitSyncErr(h)
+}
+
+// putBytesAsyncErr issues a protected put, failing fast when either end
+// is already down.
+func (t *Thread) putBytesAsyncErr(dst int, bytes int64, apply func()) (*Handle, error) {
+	if t.retriable(dst) && (t.Failed() || !t.Alive(dst)) {
+		return nil, t.commError("put", dst, 0, fault.ErrNodeDown)
+	}
+	issue := func() *fabric.NetOp { return t.putBytes(dst, bytes, apply) }
+	h := &Handle{op: issue()}
+	t.armRetry(h, "put", dst, bytes, issue)
+	return h, nil
+}
+
+// PutAsyncTErr is PutAsyncT with typed range errors and a retry-armed
+// handle: WaitSyncErr on the result recovers lost messages.
+func PutAsyncTErr[T any](t *Thread, s *Shared[T], owner, off int, src []T) (*Handle, error) {
+	if err := checkRangeErr(len(s.segs[owner]), off, len(src), "Put"); err != nil {
+		return nil, err
+	}
+	snap := make([]T, len(src))
+	copy(snap, src)
+	dst := s.segs[owner]
+	return t.putBytesAsyncErr(owner, int64(len(src)*s.elemBytes), func() {
+		copy(dst[off:], snap)
+	})
+}
+
+// PutTErr is PutT with fault recovery and typed errors.
+func PutTErr[T any](t *Thread, s *Shared[T], owner, off int, src []T) error {
+	h, err := PutAsyncTErr(t, s, owner, off, src)
+	if err != nil {
+		return err
+	}
+	if err := t.WaitSyncErr(h); err != nil {
+		return err
+	}
+	t.remoteAck(owner)
+	return nil
+}
+
+// GetAsyncTErr is GetAsyncT with typed range errors and a retry-armed
+// handle.
+func GetAsyncTErr[T any](t *Thread, s *Shared[T], dst []T, owner, off int) (*Handle, error) {
+	if err := checkRangeErr(len(s.segs[owner]), off, len(dst), "Get"); err != nil {
+		return nil, err
+	}
+	if t.retriable(owner) && (t.Failed() || !t.Alive(owner)) {
+		return nil, t.commError("get", owner, 0, fault.ErrNodeDown)
+	}
+	src := s.segs[owner]
+	n := len(dst)
+	issue := func() *fabric.NetOp {
+		return t.getBytes(owner, int64(n*s.elemBytes), func() {
+			copy(dst, src[off:off+n])
+		})
+	}
+	h := &Handle{op: issue()}
+	t.armRetry(h, "get", owner, int64(n*s.elemBytes), issue)
+	return h, nil
+}
+
+// GetTErr is GetT with fault recovery and typed errors.
+func GetTErr[T any](t *Thread, s *Shared[T], dst []T, owner, off int) error {
+	h, err := GetAsyncTErr(t, s, dst, owner, off)
+	if err != nil {
+		return err
+	}
+	return t.WaitSyncErr(h)
+}
+
+// ReadElemErr is ReadElem with fault recovery and typed errors.
+func ReadElemErr[T any](t *Thread, s *Shared[T], i int) (T, error) {
+	owner, local := s.Owner(i), s.LocalIndex(i)
+	t.ChargeXlate(1)
+	if t.Castable(owner) {
+		t.MemStreamFrom(int64(s.elemBytes), t.rt.places[owner].Socket)
+		return s.segs[owner][local], nil
+	}
+	buf := make([]T, 1)
+	if err := GetTErr(t, s, buf, owner, local); err != nil {
+		var zero T
+		return zero, err
+	}
+	return buf[0], nil
+}
+
+// WriteElemErr is WriteElem with fault recovery and typed errors.
+func WriteElemErr[T any](t *Thread, s *Shared[T], i int, v T) error {
+	owner, local := s.Owner(i), s.LocalIndex(i)
+	t.ChargeXlate(1)
+	if t.Castable(owner) {
+		t.MemStreamFrom(int64(s.elemBytes), t.rt.places[owner].Socket)
+		s.segs[owner][local] = v
+		return nil
+	}
+	return PutTErr(t, s, owner, local, []T{v})
+}

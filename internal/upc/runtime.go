@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/fabric"
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/trace"
@@ -53,6 +54,14 @@ type Config struct {
 	// Tracer, when non-nil, receives the run's trace events in addition to
 	// any process-default tracer (see internal/trace).
 	Tracer trace.Tracer
+	// Faults, when non-nil, is the deterministic fault schedule injected
+	// into this run's fabric; nil falls back to the process-default
+	// schedule installed by the -faults flag (see fault.SetDefault).
+	Faults *fault.Schedule
+	// Retry tunes the recovery of fault-aware communication calls; the
+	// zero value selects fault.DefaultRetryPolicy. Only consulted when a
+	// fault schedule is installed.
+	Retry fault.RetryPolicy
 }
 
 // sharedMem reports whether two threads on the same node can address each
@@ -100,6 +109,13 @@ type Runtime struct {
 	allocs    []*sharedShape
 	colls     []*collSlot
 	interned  map[string]any
+
+	// Fault-injection state: inj is nil when the run has no fault
+	// schedule, which keeps every hot path on its zero-cost branch.
+	inj   *fault.Injector
+	retry fault.RetryPolicy
+	dead  []bool // threads retired after their node crashed
+	nDead int
 }
 
 // Intern returns the runtime-scoped singleton for key, creating it with mk
@@ -171,6 +187,19 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		Cluster: cl,
 		places:  places,
 		eps:     make([]*fabric.Endpoint, cfg.Threads),
+		dead:    make([]bool, cfg.Threads),
+	}
+	sched := cfg.Faults
+	if sched == nil {
+		sched = fault.Default()
+	}
+	inj, err := fault.Install(cl, sched)
+	if err != nil {
+		return nil, err
+	}
+	if inj != nil {
+		rt.inj = inj
+		rt.retry = cfg.Retry.OrDefault()
 	}
 	rt.nodesUsed = (cfg.Threads + cfg.ThreadsPerNode - 1) / cfg.ThreadsPerNode
 	rt.barCost = cl.BarrierCost(rt.nodesUsed)
@@ -183,14 +212,14 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		for i := range rt.eps {
 			n := places[i].Node
 			if perNode[n] == nil {
-				perNode[n] = cl.NewEndpoint(n)
+				perNode[n] = cl.MustEndpoint(n)
 				perNode[n].MarkShared()
 			}
 			rt.eps[i] = perNode[n]
 		}
 	} else {
 		for i := range rt.eps {
-			rt.eps[i] = cl.NewEndpoint(places[i].Node)
+			rt.eps[i] = cl.MustEndpoint(places[i].Node)
 		}
 	}
 

@@ -160,16 +160,14 @@ func PutT[T any](t *Thread, s *Shared[T], owner, off int, src []T) {
 
 // PutAsyncT is the non-blocking form of PutT (upc_memput_async): the data
 // is snapshotted at initiation and lands in the target partition when the
-// returned handle completes.
+// returned handle completes. It panics with the typed error PutAsyncTErr
+// would return.
 func PutAsyncT[T any](t *Thread, s *Shared[T], owner, off int, src []T) *Handle {
-	checkRange(len(s.segs[owner]), off, len(src), "Put")
-	snap := make([]T, len(src))
-	copy(snap, src)
-	dst := s.segs[owner]
-	op := t.putBytes(owner, int64(len(src)*s.elemBytes), func() {
-		copy(dst[off:], snap)
-	})
-	return &Handle{op: op}
+	h, err := PutAsyncTErr(t, s, owner, off, src)
+	if err != nil {
+		panic(err)
+	}
+	return h
 }
 
 // GetT copies length elements from owner's partition at local offset off
@@ -180,48 +178,39 @@ func GetT[T any](t *Thread, s *Shared[T], dst []T, owner, off int) {
 }
 
 // GetAsyncT is the non-blocking form of GetT; the source is read at
-// completion time and copied into dst.
+// completion time and copied into dst. It panics with the typed error
+// GetAsyncTErr would return.
 func GetAsyncT[T any](t *Thread, s *Shared[T], dst []T, owner, off int) *Handle {
-	checkRange(len(s.segs[owner]), off, len(dst), "Get")
-	src := s.segs[owner]
-	n := len(dst)
-	op := t.getBytes(owner, int64(n*s.elemBytes), func() {
-		copy(dst, src[off:off+n])
-	})
-	return &Handle{op: op}
+	h, err := GetAsyncTErr(t, s, dst, owner, off)
+	if err != nil {
+		panic(err)
+	}
+	return h
 }
 
 // ReadElem performs a fine-grained shared read of global element i,
 // charging one pointer translation plus the access path (direct memory
-// when castable; a network get otherwise).
+// when castable; a network get otherwise). It panics with the typed
+// error ReadElemErr would return.
 func ReadElem[T any](t *Thread, s *Shared[T], i int) T {
-	owner, local := s.Owner(i), s.LocalIndex(i)
-	t.ChargeXlate(1)
-	if t.Castable(owner) {
-		t.MemStreamFrom(int64(s.elemBytes), t.rt.places[owner].Socket)
-		return s.segs[owner][local]
+	v, err := ReadElemErr(t, s, i)
+	if err != nil {
+		panic(err)
 	}
-	buf := make([]T, 1)
-	GetT(t, s, buf, owner, local)
-	return buf[0]
+	return v
 }
 
-// WriteElem performs a fine-grained shared write of global element i.
+// WriteElem performs a fine-grained shared write of global element i. It
+// panics with the typed error WriteElemErr would return.
 func WriteElem[T any](t *Thread, s *Shared[T], i int, v T) {
-	owner, local := s.Owner(i), s.LocalIndex(i)
-	t.ChargeXlate(1)
-	if t.Castable(owner) {
-		t.MemStreamFrom(int64(s.elemBytes), t.rt.places[owner].Socket)
-		s.segs[owner][local] = v
-		return
+	if err := WriteElemErr(t, s, i, v); err != nil {
+		panic(err)
 	}
-	PutT(t, s, owner, local, []T{v})
 }
 
 func checkRange(partLen, off, n int, op string) {
-	if off < 0 || n < 0 || off+n > partLen {
-		panic(fmt.Sprintf("upc: %s range [%d:%d) outside partition of %d elements",
-			op, off, off+n, partLen))
+	if err := checkRangeErr(partLen, off, n, op); err != nil {
+		panic(err)
 	}
 }
 

@@ -9,28 +9,64 @@ import (
 
 // phaseBarrier implements both upc_barrier and the split-phase
 // upc_notify/upc_wait pair: each generation is a sim.Event that fires the
-// dissemination cost after the last notify.
+// dissemination cost after the last notify. Under fault injection a
+// generation releases when every *live* thread has arrived, so a node
+// crash does not hang the survivors (retiring threads re-check pending
+// generations; see Thread.Retire).
 type phaseBarrier struct {
 	n        int
 	notified int
+	inGen    []bool // which threads notified this generation (faults only)
 	ev       *sim.Event
 }
 
 func newPhaseBarrier(n int) *phaseBarrier {
-	return &phaseBarrier{n: n, ev: &sim.Event{}}
+	return &phaseBarrier{n: n, inGen: make([]bool, n), ev: &sim.Event{}}
 }
 
-// notify registers one arrival and returns the generation's release event.
-// The last arrival books the release and opens the next generation.
-func (b *phaseBarrier) notify(rt *Runtime) *sim.Event {
+// notify registers thread id's arrival and returns the generation's
+// release event. The last live arrival books the release and opens the
+// next generation.
+func (b *phaseBarrier) notify(rt *Runtime, id int) *sim.Event {
 	ev := b.ev
 	b.notified++
-	if b.notified == b.n {
-		b.notified = 0
-		b.ev = &sim.Event{}
-		rt.Eng.After(rt.barCost, ev.Fire)
+	if !rt.faultsOn() {
+		// Fast path: no per-thread bookkeeping, a bare counter.
+		if b.notified == b.n {
+			b.release(rt)
+		}
+		return ev
 	}
+	b.inGen[id] = true
+	b.maybeRelease(rt)
 	return ev
+}
+
+// maybeRelease fires the generation once every live thread has notified.
+// Called on each arrival and again when a thread retires mid-generation,
+// which may be exactly what completes it.
+func (b *phaseBarrier) maybeRelease(rt *Runtime) {
+	if b.notified == 0 {
+		return
+	}
+	for i := range b.inGen {
+		if !rt.dead[i] && !b.inGen[i] {
+			return
+		}
+	}
+	b.release(rt)
+}
+
+// release fires the current generation after the dissemination cost and
+// opens the next one.
+func (b *phaseBarrier) release(rt *Runtime) {
+	ev := b.ev
+	b.notified = 0
+	for i := range b.inGen {
+		b.inGen[i] = false
+	}
+	b.ev = &sim.Event{}
+	rt.Eng.After(rt.barCost, ev.Fire)
 }
 
 // Lock is a UPC global lock (upc_lock_t). It has a home thread; acquiring
@@ -95,7 +131,13 @@ func (l *Lock) Lock(t *Thread) {
 
 // TryLock attempts acquisition without blocking (upc_lock_attempt),
 // reporting success. The probe pays the control round trip either way.
+// Under fault injection a lock whose home node is down is unacquirable:
+// the probe fails immediately (the control message would be dropped).
 func (l *Lock) TryLock(t *Thread) bool {
+	if t.rt.faultsOn() && !t.Alive(l.home) {
+		t.P.TraceInstant("upc", "trylock", "dead-home", int64(l.home), 0)
+		return false
+	}
 	l.controlCost(t)
 	if l.held {
 		l.controlCost(t)

@@ -84,7 +84,7 @@ func (t *Thread) Castable(other int) bool {
 // release is charged the dissemination cost across the nodes in use.
 func (t *Thread) Barrier() {
 	end := t.P.TraceSpan("upc", "barrier")
-	ev := t.rt.bar.notify(t.rt)
+	ev := t.rt.bar.notify(t.rt, t.ID)
 	ev.Wait(t.P)
 	end()
 }
@@ -95,7 +95,7 @@ func (t *Thread) BarrierNotify() {
 		panic("upc: BarrierNotify without matching BarrierWait")
 	}
 	t.P.TraceInstant("upc", "barrier-notify", "", 0, 0)
-	t.pendingBar = t.rt.bar.notify(t.rt)
+	t.pendingBar = t.rt.bar.notify(t.rt, t.ID)
 }
 
 // BarrierWait completes a split-phase barrier (upc_wait).
@@ -150,6 +150,15 @@ func (t *Thread) ChargeXlate(n int64) {
 // (the bupc_handle_t of the Berkeley extensions).
 type Handle struct {
 	op *fabric.NetOp
+
+	// Retry context, armed when the op was issued on a network path under
+	// an installed fault schedule (see armRetry): WaitSync then recovers
+	// lost messages by re-issuing. All nil/zero on fault-free runs.
+	t       *Thread
+	opName  string
+	peer    int
+	bytes   int64
+	reissue func() *fabric.NetOp
 }
 
 // Try reports whether the operation has completed, without blocking.
@@ -161,10 +170,11 @@ func (h *Handle) Try() bool { return h.op == nil || h.op.Remote.Fired() }
 func HandleFor(op *fabric.NetOp) *Handle { return &Handle{op: op} }
 
 // WaitSync blocks until the asynchronous operation completes
-// (upc_waitsync).
+// (upc_waitsync), recovering lost messages on retry-armed handles. It
+// panics with the typed error WaitSyncErr would return.
 func (t *Thread) WaitSync(h *Handle) {
-	if h.op != nil {
-		h.op.WaitRemote(t.P)
+	if err := t.WaitSyncErr(h); err != nil {
+		panic(err)
 	}
 }
 
@@ -187,22 +197,30 @@ func ApplyAsync(t *Thread, dst int, bytes int64, apply func()) *Handle {
 
 // PutBytes performs a one-sided put of the given byte volume toward
 // thread dst without carrying a payload — the model-mode transfer used by
-// benchmark geometries too large to materialize. Blocking, like PutT.
+// benchmark geometries too large to materialize. Blocking, like PutT. It
+// panics with the typed error PutBytesErr would return.
 func (t *Thread) PutBytes(dst int, bytes int64) {
-	op := t.putBytes(dst, bytes, nil)
-	op.WaitRemote(t.P)
-	t.remoteAck(dst)
+	if err := t.PutBytesErr(dst, bytes); err != nil {
+		panic(err)
+	}
 }
 
 // PutBytesAsync is the non-blocking form of PutBytes.
 func (t *Thread) PutBytesAsync(dst int, bytes int64) *Handle {
-	return &Handle{op: t.putBytes(dst, bytes, nil)}
+	h, err := t.putBytesAsyncErr(dst, bytes, nil)
+	if err != nil {
+		panic(err)
+	}
+	return h
 }
 
 // GetBytes performs a one-sided get of the given byte volume from thread
-// src without carrying a payload. Blocking, like GetT.
+// src without carrying a payload. Blocking, like GetT. It panics with
+// the typed error GetBytesErr would return.
 func (t *Thread) GetBytes(src int, bytes int64) {
-	t.getBytes(src, bytes, nil).WaitRemote(t.P)
+	if err := t.GetBytesErr(src, bytes); err != nil {
+		panic(err)
+	}
 }
 
 // pathClass reports the comm-matrix class of a transfer between this
@@ -240,10 +258,10 @@ func (t *Thread) putBytes(dst int, bytes int64, apply func()) *fabric.NetOp {
 	dstPlace := rt.places[dst]
 	t.traceComm("put", t.ID, dst, bytes, t.pathClass(dst))
 	if dst == t.ID {
-		return rt.Cluster.MemCopyAsync(t.P, t.Place, dstPlace, bytes, castOverhead, apply)
+		return t.localCopy(t.Place, dstPlace, bytes, castOverhead, apply)
 	}
 	if topo.SameNode(t.Place, dstPlace) && rt.Cfg.sharedMem() {
-		return rt.Cluster.MemCopyAsync(t.P, t.Place, dstPlace, bytes, t.shmOverhead(), apply)
+		return t.localCopy(t.Place, dstPlace, bytes, t.shmOverhead(), apply)
 	}
 	return t.ep.PutAsync(t.P, rt.eps[dst], bytes, apply)
 }
@@ -255,12 +273,23 @@ func (t *Thread) getBytes(src int, bytes int64, apply func()) *fabric.NetOp {
 	srcPlace := rt.places[src]
 	t.traceComm("get", src, t.ID, bytes, t.pathClass(src))
 	if src == t.ID {
-		return rt.Cluster.MemCopyAsync(t.P, srcPlace, t.Place, bytes, castOverhead, apply)
+		return t.localCopy(srcPlace, t.Place, bytes, castOverhead, apply)
 	}
 	if topo.SameNode(t.Place, srcPlace) && rt.Cfg.sharedMem() {
-		return rt.Cluster.MemCopyAsync(t.P, srcPlace, t.Place, bytes, t.shmOverhead(), apply)
+		return t.localCopy(srcPlace, t.Place, bytes, t.shmOverhead(), apply)
 	}
 	return t.ep.GetAsync(t.P, rt.eps[src], bytes, apply)
+}
+
+// localCopy is MemCopyAsync on a placement pair the caller's path
+// selection already proved same-node; the cross-node error is
+// unreachable.
+func (t *Thread) localCopy(from, to topo.Place, bytes int64, overhead sim.Duration, apply func()) *fabric.NetOp {
+	op, err := t.rt.Cluster.MemCopyAsync(t.P, from, to, bytes, overhead, apply)
+	if err != nil {
+		panic(err)
+	}
+	return op
 }
 
 func (t *Thread) shmOverhead() sim.Duration {
