@@ -76,15 +76,20 @@ var (
 )
 
 func measure() map[string]record {
-	// The engine is logically sequential — exactly one simulated process
-	// runs at a time — so measure on one P. At the default GOMAXPROCS the
-	// Go scheduler migrates the handoff chain across cores and the
-	// many-goroutine benchmarks swing 30-50% run to run; pinned, they
-	// repeat within a few percent.
-	prev := runtime.GOMAXPROCS(1)
-	defer runtime.GOMAXPROCS(prev)
 	res := make(map[string]record, len(simbench.All))
 	for _, bm := range simbench.All {
+		// The single-engine benchmarks are logically sequential — exactly
+		// one simulated process runs at a time — so measure those on one
+		// P: at the default GOMAXPROCS the Go scheduler migrates the
+		// handoff chain across cores and the many-goroutine benchmarks
+		// swing 30-50% run to run; pinned, they repeat within a few
+		// percent. The sharded scaling series is the opposite case — OS
+		// parallelism is the thing being measured — so it keeps the
+		// host's GOMAXPROCS.
+		prev := runtime.GOMAXPROCS(0)
+		if !bm.Parallel {
+			prev = runtime.GOMAXPROCS(1)
+		}
 		best := record{NsPerOp: -1}
 		trials := make([]float64, 0, *runs)
 		for i := 0; i < *runs; i++ {
@@ -99,6 +104,7 @@ func measure() map[string]record {
 				best = record{NsPerOp: ns, AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp()}
 			}
 		}
+		runtime.GOMAXPROCS(prev)
 		res[bm.Name] = best
 		// The minimum stays the recorded estimate; the trial percentiles
 		// show how noisy this machine made the measurement.
@@ -110,6 +116,10 @@ func measure() map[string]record {
 }
 
 func measureFigure() figure {
+	// Settle the microbenchmarks' garbage (the sharded UTS series leaves
+	// multi-MB heaps behind) so their collection is not billed to the
+	// figure's wall clock.
+	runtime.GC()
 	start := time.Now() //upcvet:wallclock -- real host-side benchmarking; this is the one place wall time is the point
 	rs, err := stream.Table31(1)
 	if err != nil {
@@ -151,6 +161,14 @@ func runCheck(fresh map[string]record) int {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", *baseline, err)
 		return 1
 	}
+	// The serial benchmarks are deterministic, so their allocs/op must
+	// match the baseline exactly; the parallel (sharded) ones allocate a
+	// scheduling-dependent amount of park/unpark machinery, so they get
+	// the same fractional slack as ns/op.
+	parallel := map[string]bool{}
+	for _, bm := range simbench.All {
+		parallel[bm.Name] = bm.Parallel
+	}
 	fail := 0
 	for _, name := range sortedNames(base.Benchmarks) {
 		b := base.Benchmarks[name]
@@ -160,15 +178,19 @@ func runCheck(fresh map[string]record) int {
 			fail++
 			continue
 		}
+		allocLimit := b.AllocsPerOp
+		if parallel[name] {
+			allocLimit = int64(float64(b.AllocsPerOp) * (1 + *tolerance))
+		}
 		ratio := f.NsPerOp / b.NsPerOp
 		switch {
 		case ratio > 1+*tolerance:
 			fmt.Printf("FAIL %-20s %.1f ns/op vs baseline %.1f (%.0f%% slower, limit %.0f%%)\n",
 				name, f.NsPerOp, b.NsPerOp, (ratio-1)*100, *tolerance*100)
 			fail++
-		case f.AllocsPerOp > b.AllocsPerOp:
-			fmt.Printf("FAIL %-20s %d allocs/op vs baseline %d\n",
-				name, f.AllocsPerOp, b.AllocsPerOp)
+		case f.AllocsPerOp > allocLimit:
+			fmt.Printf("FAIL %-20s %d allocs/op vs baseline limit %d\n",
+				name, f.AllocsPerOp, allocLimit)
 			fail++
 		default:
 			fmt.Printf("ok   %-20s %.1f ns/op vs baseline %.1f (%+.0f%%), %d allocs/op\n",

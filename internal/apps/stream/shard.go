@@ -1,0 +1,189 @@
+// Sharded stream: a multi-node, ring-twisted triad on the node-sharded
+// parallel engine. Each fabric node is one sim lane holding its own
+// partitions of a, b and c; thread w on node l computes the partition
+// of thread w on node (l+1) mod N — the cross-node generalization of
+// the Table 3.1 twist — by bulk-fetching the peer's operands over the
+// ShardNet (re-localization), computing locally, and putting the
+// result back. Kernels run on real float64 data and are verified
+// element-wise; wire and memory costs are charged to the virtual
+// clock, and the run is byte-identical at any -shards worker count.
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// Shard RPC operations: operand fetches for re-localization.
+const (
+	opFetchB = 1
+	opFetchC = 2
+)
+
+// ShardConfig parameterizes one sharded twisted-triad run.
+type ShardConfig struct {
+	Machine        *topo.Machine
+	Nodes          int // fabric nodes = sim lanes (>= 2)
+	ThreadsPerNode int
+	ElemsPerThrd   int
+	Seed           int64
+	// Tracer, when non-nil, receives the run's merged trace stream.
+	Tracer trace.Tracer
+}
+
+// streamLane is one lane's data and bookkeeping. All fields are
+// lane-local: mutated only in this lane's engine context (remote puts
+// and fetch applies land here as engine events).
+type streamLane struct {
+	a, b, c [][]float64 // per-worker partitions
+	inbox   [][]float64 // per-worker landing slot for one fetched operand
+	err     error
+}
+
+// RunTwistedSharded executes the ring-twisted triad across cfg.Nodes
+// lanes and reports aggregate triad bandwidth.
+func RunTwistedSharded(cfg ShardConfig) (Result, error) {
+	if cfg.Machine == nil {
+		cfg.Machine = topo.Lehman()
+	}
+	if cfg.Nodes < 2 {
+		return Result{}, fmt.Errorf("stream: sharded triad needs >= 2 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.ThreadsPerNode <= 0 {
+		cfg.ThreadsPerNode = cfg.Machine.CoresPerNode()
+	}
+	if cfg.ElemsPerThrd == 0 {
+		cfg.ElemsPerThrd = 1 << 16
+	}
+	cond, ok := fabric.ConduitByName(cfg.Machine.DefaultConduit)
+	if !ok {
+		return Result{}, fmt.Errorf("stream: unknown default conduit %q", cfg.Machine.DefaultConduit)
+	}
+	// The twist's data path uses plain blocking puts with no retry, so a
+	// lossy schedule would strand it mid-kernel. Refuse loudly rather
+	// than silently ignoring the process-default schedule -faults set.
+	if sched := fault.Default(); sched != nil && len(sched.Actions) > 0 {
+		return Result{}, fmt.Errorf("stream: the sharded triad does not model faults; " +
+			"run fault studies on the legacy engine (-parallel) or the sharded UTS")
+	}
+
+	n := cfg.ElemsPerThrd
+	lanes := cfg.Nodes
+	perNode := cfg.ThreadsPerNode
+	// Like upc.Run, the config tracer is added on top of the process
+	// default, so session tracing reaches sharded runs too.
+	g := sim.NewShardGroup(cfg.Seed, lanes, trace.Tee(trace.Default(), cfg.Tracer))
+	net := fabric.NewShardNet(g, cond)
+	parts := make([]int, lanes)
+	clusters := make([]*fabric.Cluster, lanes)
+	data := make([]*streamLane, lanes)
+	for l := 0; l < lanes; l++ {
+		parts[l] = perNode
+		clusters[l] = fabric.LaneCluster(g, l, cfg.Machine, cond)
+		ld := &streamLane{
+			a:     make([][]float64, perNode),
+			b:     make([][]float64, perNode),
+			c:     make([][]float64, perNode),
+			inbox: make([][]float64, perNode),
+		}
+		for w := 0; w < perNode; w++ {
+			ld.a[w] = make([]float64, n)
+			ld.b[w] = make([]float64, n)
+			ld.c[w] = make([]float64, n)
+		}
+		data[l] = ld
+		// Operand fetches: the handler snapshots the partition (b and c
+		// are constant during the kernel, so the copy is race-free and
+		// value-deterministic) and the apply lands it at the caller.
+		lane := l
+		fetch := func(arr func(*streamLane) [][]float64) fabric.HandlerFunc {
+			return func(src int, arg int64) (int64, func()) {
+				wkr := int(arg)
+				snap := append([]float64(nil), arr(data[lane])[wkr]...)
+				return int64(8 * len(snap)), func() { data[src].inbox[wkr] = snap }
+			}
+		}
+		net.Port(l).Handle(opFetchB, fetch(func(ld *streamLane) [][]float64 { return ld.b }))
+		net.Port(l).Handle(opFetchC, fetch(func(ld *streamLane) [][]float64 { return ld.c }))
+	}
+	bar := fabric.NewShardBarrier(net, parts)
+
+	var start, stop sim.Time // lane-0 context only
+	for l := 0; l < lanes; l++ {
+		for w := 0; w < perNode; w++ {
+			lane, wkr := l, w
+			g.Lane(lane).Go(fmt.Sprintf("triad%d.%d", lane, wkr), func(p *sim.Proc) {
+				ld := data[lane]
+				cl := clusters[lane]
+				pl := streamPlace(cfg.Machine, wkr)
+				gid := lane*perNode + wkr
+				for i := 0; i < n; i++ {
+					ld.b[wkr][i] = float64(gid*n + i)
+					ld.c[wkr][i] = 2
+				}
+				// First touch on the worker's own socket.
+				_ = cl.MemCopy(p, pl, pl, int64(16*n), 0)
+				bar.Wait(p, lane)
+				if gid == 0 {
+					start = p.Now()
+				}
+
+				// The ring twist: compute the next node's partition from
+				// its own operands — fetch, triad locally, put back.
+				peer := (lane + 1) % lanes
+				pt := net.Port(lane)
+				pt.Call(p, wkr, peer, opFetchB, int64(wkr), 16)
+				lb := ld.inbox[wkr]
+				pt.Call(p, wkr, peer, opFetchC, int64(wkr), 16)
+				lc := ld.inbox[wkr]
+				ld.inbox[wkr] = nil
+				la := make([]float64, n)
+				for i := 0; i < n; i++ {
+					la[i] = lb[i] + triadScalar*lc[i]
+				}
+				_ = cl.MemCopy(p, pl, pl, int64(bytesPerElem*n), 0)
+				pt.Put(p, peer, int64(8*n), func() {
+					copy(data[peer].a[wkr], la)
+				})
+
+				bar.Wait(p, lane)
+				if gid == 0 {
+					stop = p.Now()
+				}
+				// Verify the partition some peer computed for this lane.
+				for i := 0; i < n; i++ {
+					want := ld.b[wkr][i] + triadScalar*ld.c[wkr][i]
+					if ld.a[wkr][i] != want && ld.err == nil {
+						ld.err = fmt.Errorf("stream: node %d thread %d element %d = %g, want %g",
+							lane, wkr, i, ld.a[wkr][i], want)
+					}
+				}
+			})
+		}
+	}
+	if err := g.Run(); err != nil {
+		return Result{}, err
+	}
+	for _, ld := range data {
+		if ld.err != nil {
+			return Result{}, ld.err
+		}
+	}
+	kernel := stop - start
+	total := n * lanes * perNode
+	gbps := float64(total) * bytesPerElem / kernel.Seconds() / 1e9
+	name := fmt.Sprintf("UPC re-localization %dx%d", lanes, perNode)
+	return Result{Name: name, GBps: gbps, Elapsed: kernel}, nil
+}
+
+// streamPlace pins worker id onto the lane's single-node cluster,
+// core-blocked across sockets.
+func streamPlace(m *topo.Machine, id int) topo.Place {
+	core := id % m.CoresPerNode()
+	return topo.Place{Node: 0, Socket: core / m.CoresPerSocket, Core: core % m.CoresPerSocket}
+}

@@ -1,0 +1,59 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func shardedTriad(t *testing.T, workers, nodes int) (Result, uint64) {
+	t.Helper()
+	old := sim.ShardWorkers()
+	sim.SetShardWorkers(workers)
+	defer sim.SetShardWorkers(old)
+	d := trace.NewDigest()
+	r, err := RunTwistedSharded(ShardConfig{
+		Nodes:          nodes,
+		ThreadsPerNode: 4,
+		ElemsPerThrd:   1 << 12,
+		Seed:           3,
+		Tracer:         d,
+	})
+	if err != nil {
+		t.Fatalf("RunTwistedSharded(nodes=%d, workers=%d): %v", nodes, workers, err)
+	}
+	return r, d.Sum64()
+}
+
+// TestShardedTriadVerifies: the kernel computes and verifies real data
+// across the node ring and reports positive bandwidth.
+func TestShardedTriadVerifies(t *testing.T) {
+	r, _ := shardedTriad(t, 1, 4)
+	if r.GBps <= 0 || r.Elapsed <= 0 {
+		t.Fatalf("degenerate result %+v", r)
+	}
+}
+
+// TestShardedTriadWorkerCountInvariance: digest and kernel time are
+// identical at any shard worker count.
+func TestShardedTriadWorkerCountInvariance(t *testing.T) {
+	base, dBase := shardedTriad(t, 1, 4)
+	for _, workers := range []int{2, 8} {
+		r, dig := shardedTriad(t, workers, 4)
+		if dig != dBase || r.Elapsed != base.Elapsed || r.GBps != base.GBps {
+			t.Fatalf("workers=%d diverged: digest %016x/%016x elapsed %v/%v",
+				workers, dig, dBase, r.Elapsed, base.Elapsed)
+		}
+	}
+}
+
+// TestShardedTriadNeedsRing: a one-node ring has no cross-node twist
+// and is rejected (the legacy single-node variants cover it).
+func TestShardedTriadNeedsRing(t *testing.T) {
+	_, err := RunTwistedSharded(ShardConfig{Nodes: 1})
+	if err == nil || !strings.Contains(err.Error(), "nodes") {
+		t.Fatalf("err = %v, want node-count rejection", err)
+	}
+}

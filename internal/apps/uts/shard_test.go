@@ -1,0 +1,118 @@
+package uts
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// shardedCase runs one sharded traversal and returns the result plus
+// the trace digest.
+func shardedCase(t *testing.T, workers int, strat Strategy, sched *fault.Schedule) (Result, uint64) {
+	t.Helper()
+	old := sim.ShardWorkers()
+	sim.SetShardWorkers(workers)
+	defer sim.SetShardWorkers(old)
+	d := trace.NewDigest()
+	r, err := RunSharded(Config{
+		Threads:  8,
+		PerNode:  2,
+		Strategy: strat,
+		Tree:     Small(30000),
+		Seed:     7,
+		Tracer:   d,
+		Faults:   sched,
+	})
+	if err != nil {
+		t.Fatalf("RunSharded(%v, workers=%d): %v", strat, workers, err)
+	}
+	return r, d.Sum64()
+}
+
+// TestShardedCountMatchesSequentialAllStrategies: every strategy visits
+// exactly the sequential node count (RunSharded verifies internally;
+// this asserts the run completes and reports sane metrics).
+func TestShardedCountMatchesSequentialAllStrategies(t *testing.T) {
+	for _, s := range Strategies() {
+		r, _ := shardedCase(t, 1, s, nil)
+		if r.Nodes == 0 || r.Elapsed <= 0 || r.MNodesPerSec <= 0 {
+			t.Errorf("%v: degenerate result %+v", s, r)
+		}
+		if r.Counters.Get("steals") == 0 {
+			t.Errorf("%v: traversal finished without a single steal", s)
+		}
+	}
+}
+
+// TestShardedWorkerCountInvariance: the full run — counters, elapsed
+// virtual time, and the merged trace stream — is byte-identical at any
+// shard worker count.
+func TestShardedWorkerCountInvariance(t *testing.T) {
+	base, dBase := shardedCase(t, 1, LocalRapid, nil)
+	for _, workers := range []int{2, 4, 8} {
+		r, dig := shardedCase(t, workers, LocalRapid, nil)
+		if dig != dBase {
+			t.Fatalf("workers=%d: digest %016x, want %016x", workers, dig, dBase)
+		}
+		if r.Elapsed != base.Elapsed || r.Nodes != base.Nodes {
+			t.Fatalf("workers=%d: result diverged: %+v vs %+v", workers, r, base)
+		}
+		if r.Counters.String() != base.Counters.String() {
+			t.Fatalf("workers=%d: counters diverged:\n%s\nvs\n%s",
+				workers, r.Counters, base.Counters)
+		}
+	}
+}
+
+// TestShardedLocalStrategyRaisesLocalShare mirrors the legacy locality
+// check: probing the lane group first must raise the same-node steal
+// share over the baseline ring.
+func TestShardedLocalStrategyRaisesLocalShare(t *testing.T) {
+	rBase, _ := shardedCase(t, 1, BaselineRR, nil)
+	rLocal, _ := shardedCase(t, 1, LocalSteal, nil)
+	if rLocal.LocalStealPct() <= rBase.LocalStealPct() {
+		t.Fatalf("local strategy share %.1f%% not above baseline %.1f%%",
+			rLocal.LocalStealPct(), rBase.LocalStealPct())
+	}
+}
+
+// TestShardedLossySchedule: a heavy drop/duplicate/delay schedule must
+// neither lose nor duplicate work — the count verification inside
+// RunSharded is exact — and the run stays worker-count invariant.
+func TestShardedLossySchedule(t *testing.T) {
+	sched := &fault.Schedule{Actions: []fault.Action{
+		{Op: fault.OpDrop, Prob: 0.3, Until: 0.005, Src: -1, Dst: -1},
+		{Op: fault.OpDuplicate, Prob: 0.2, Until: 0.005, Src: -1, Dst: -1},
+		{Op: fault.OpDelay, Prob: 0.25, Extra: 15e-6, Until: 0.005, Src: -1, Dst: -1},
+	}}
+	r1, d1 := shardedCase(t, 1, LocalSteal, sched)
+	r4, d4 := shardedCase(t, 4, LocalSteal, sched)
+	if d1 != d4 || r1.Elapsed != r4.Elapsed {
+		t.Fatalf("lossy run diverged across workers: digest %016x/%016x elapsed %v/%v",
+			d1, d4, r1.Elapsed, r4.Elapsed)
+	}
+}
+
+// TestShardedRejectsCrashSchedules: crash recovery is a legacy-engine
+// feature; the sharded traversal must refuse rather than miscount.
+func TestShardedRejectsCrashSchedules(t *testing.T) {
+	_, err := RunSharded(Config{
+		Threads: 4, PerNode: 2, Tree: Small(1000), Seed: 1,
+		Faults: &fault.Schedule{Actions: []fault.Action{{Op: fault.OpCrash, At: 1e-5, Node: 1}}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "crash") {
+		t.Fatalf("err = %v, want crash rejection", err)
+	}
+}
+
+// TestShardedThreadSplitValidation: Threads must divide into whole
+// lanes.
+func TestShardedThreadSplitValidation(t *testing.T) {
+	_, err := RunSharded(Config{Threads: 7, PerNode: 2, Tree: Small(1000)})
+	if err == nil || !strings.Contains(err.Error(), "divisible") {
+		t.Fatalf("err = %v, want divisibility rejection", err)
+	}
+}

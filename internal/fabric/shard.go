@@ -1,0 +1,427 @@
+// Sharded fabric: the cross-lane communication layer for sim.ShardGroup
+// runs. Each lane owns a private single-node Cluster (LaneCluster) for
+// intra-node costs — cores, sockets, PSHM traffic never leave the lane —
+// while cross-node traffic flows through a ShardNet as timestamped
+// inter-lane messages costed with the fixed-rate LogGP terms of the
+// conduit (overheads, per-message gap, store-and-forward transfer time).
+// The global fluid max-min Net is deliberately not used across lanes:
+// its instantaneous rate coupling would make every node's progress
+// depend on every other node's in-flight flows, destroying the lane
+// isolation that conservative-lookahead parallelism requires. The
+// conduit's wire latency is the lookahead lower bound the group
+// synchronizes on.
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// Lookahead reports the conduit's conservative cross-lane lookahead:
+// the wire latency, clamped to the engine's floor so a (hypothetical)
+// zero-latency conduit still yields a non-empty synchronization window.
+func (c *Conduit) Lookahead() sim.Duration {
+	if c.Latency < sim.LookaheadFloor {
+		return sim.LookaheadFloor
+	}
+	return c.Latency
+}
+
+// LaneCluster builds lane i's private single-node resource model on its
+// engine: a Cluster over the machine's NodeView, so all existing
+// intra-node cost paths (Compute, MemCopy, MemTouch) work unchanged
+// inside a lane with places addressed as node 0.
+func LaneCluster(g *sim.ShardGroup, lane int, m *topo.Machine, cond Conduit) *Cluster {
+	return NewCluster(g.Lane(lane), m.NodeView(), cond)
+}
+
+// ShardNet is the cross-lane network of one sharded run: a full mesh of
+// conduit links between lanes, one port per lane. It declares the
+// conduit's lookahead on every lane pair at construction.
+type ShardNet struct {
+	Group *sim.ShardGroup
+	Cond  Conduit
+	ports []*ShardPort
+}
+
+// NewShardNet wires a full mesh over the group's lanes with cond's
+// lookahead and returns the net. Call once per run, before Run.
+func NewShardNet(g *sim.ShardGroup, cond Conduit) *ShardNet {
+	n := &ShardNet{Group: g, Cond: cond, ports: make([]*ShardPort, g.Lanes())}
+	la := cond.Lookahead()
+	for i := 0; i < g.Lanes(); i++ {
+		for j := 0; j < g.Lanes(); j++ {
+			if i != j {
+				g.SetLookahead(i, j, la)
+			}
+		}
+		n.ports[i] = &ShardPort{net: n, lane: i, eng: g.Lane(i)}
+	}
+	return n
+}
+
+// Port returns lane i's port.
+func (n *ShardNet) Port(lane int) *ShardPort { return n.ports[lane] }
+
+// HandlerFunc serves one RPC operation at the target lane, in engine
+// context (it must not park). src is the calling lane and arg the
+// request payload word. It returns the modeled response size and an
+// apply closure that runs at the calling lane when the response
+// arrives, carrying the actual result data. A nil apply is allowed.
+type HandlerFunc func(src int, arg int64) (respSize int64, apply func())
+
+// rpcEntry caches the last request one caller key completed, making
+// retransmitted requests idempotent: a duplicate of the request re-sends
+// the cached response instead of re-running the handler.
+type rpcEntry struct {
+	id       uint64
+	op       int
+	respSize int64
+	apply    func()
+}
+
+// ShardPort is one lane's attachment to the ShardNet: injection and
+// reception gap servers (the conduit's per-message occupancy), the
+// lane's RPC handler table, and the reply cache that makes the
+// request/response protocol exactly-once under drop/duplicate/delay
+// fault schedules. All state is lane-local: every method and handler
+// runs in this lane's own engine context.
+type ShardPort struct {
+	net  *ShardNet
+	lane int
+	eng  *sim.Engine
+
+	gapTx sim.Server
+	gapRx sim.Server
+
+	handlers map[int]HandlerFunc
+	nextReq  uint64
+	calls    map[int64]pendingCall // outstanding RPCs by caller key
+	replies  map[int64]rpcEntry    // reply cache by caller key (src lane, caller id)
+}
+
+// Lane reports the port's lane index.
+func (pt *ShardPort) Lane() int { return pt.lane }
+
+// Engine reports the port's lane engine.
+func (pt *ShardPort) Engine() *sim.Engine { return pt.eng }
+
+// Handle registers the serving function for RPC operation op on this
+// port. Register all handlers during setup, before ShardGroup.Run.
+func (pt *ShardPort) Handle(op int, h HandlerFunc) {
+	if pt.handlers == nil {
+		pt.handlers = map[int]HandlerFunc{}
+	}
+	pt.handlers[op] = h
+}
+
+// wireDelay is the one-way message delay on the shard mesh: latency
+// plus store-and-forward transfer time at one connection's bandwidth.
+// It is ≥ the declared lookahead (latency alone) by construction.
+func (n *ShardNet) wireDelay(size int64) sim.Duration {
+	return n.Cond.Lookahead() + sim.TransferTime(size, n.Cond.ConnBW)
+}
+
+// inject charges the sender-side wire costs in proc context: the CPU
+// send overhead, then the injection-port gap.
+func (pt *ShardPort) inject(p *sim.Proc, size int64) {
+	cond := &pt.net.Cond
+	if cond.SendOverhead > 0 {
+		p.Advance(cond.SendOverhead)
+	}
+	pt.gapTx.Delay(p, cond.MsgGap)
+}
+
+// tracePut mirrors the legacy cluster's comm-matrix instants so metrics
+// manifests classify shard traffic like any other remote transfer.
+func (pt *ShardPort) tracePut(p *sim.Proc, name string, dst int, size int64) {
+	p.TraceInstant(trace.CatComm, name, trace.ClassNetwork, size,
+		trace.PackEndpoints(0, 0, pt.lane, dst))
+}
+
+// Put models a blocking one-sided put of size bytes to lane dst: the
+// caller pays the send costs, apply runs at dst when the payload lands
+// (carrying the real data), and the caller resumes once the remote
+// delivery — plus its receive overhead — completes and the ack returns.
+// Unreliable: under a fault schedule the payload or the ack can be
+// dropped, so fault-tolerant protocols should use Call instead; Put is
+// for fault-free paths and control use via PutReliable.
+func (pt *ShardPort) Put(p *sim.Proc, dst int, size int64, apply func()) {
+	pt.put(p, dst, size, false, apply)
+}
+
+// PutReliable is Put on the reliable control plane: exempt from the
+// fault filter (see sim.ShardGroup.SendReliable).
+func (pt *ShardPort) PutReliable(p *sim.Proc, dst int, size int64, apply func()) {
+	pt.put(p, dst, size, true, apply)
+}
+
+func (pt *ShardPort) put(p *sim.Proc, dst int, size int64, reliable bool, apply func()) {
+	g := pt.net.Group
+	cond := &pt.net.Cond
+	pt.inject(p, size)
+	pt.tracePut(p, "shard-put", dst, size)
+	done := &sim.Event{}
+	src := pt.lane
+	deliver := func() {
+		dp := pt.net.ports[dst]
+		rxDone := dp.gapRx.Schedule(dp.eng.Now(), cond.RecvOverhead)
+		dp.eng.After(rxDone-dp.eng.Now(), func() {
+			if apply != nil {
+				apply()
+			}
+			// The ack retraces the wire; it carries no payload.
+			send := g.Send
+			if reliable {
+				send = g.SendReliable
+			}
+			send(dp.eng, src, pt.net.wireDelay(0), 0, func() { done.Fire() })
+		})
+	}
+	if reliable {
+		g.SendReliable(pt.eng, dst, pt.net.wireDelay(size), size, deliver)
+	} else {
+		g.Send(pt.eng, dst, pt.net.wireDelay(size), size, deliver)
+	}
+	done.Wait(p)
+}
+
+// Post ships a one-way control message to lane dst: apply runs there
+// once the payload lands and its receive overhead drains. Fire and
+// forget — the caller resumes after paying only the injection costs, so
+// notifications do not serialize on round trips. It rides the reliable
+// control plane (exempt from fault filters, like PutReliable); a post
+// to the port's own lane takes the loopback path instead of the mesh.
+func (pt *ShardPort) Post(p *sim.Proc, dst int, size int64, apply func()) {
+	cond := &pt.net.Cond
+	pt.inject(p, size)
+	if dst == pt.lane {
+		pt.eng.After(cond.LoopbackLatency, apply)
+		return
+	}
+	pt.tracePut(p, "shard-post", dst, size)
+	pt.net.Group.SendReliable(pt.eng, dst, pt.net.wireDelay(size), size, func() {
+		dp := pt.net.ports[dst]
+		rxDone := dp.gapRx.Schedule(dp.eng.Now(), cond.RecvOverhead)
+		dp.eng.After(rxDone-dp.eng.Now(), apply)
+	})
+}
+
+// callerKey packs the request's origin into the reply-cache key. caller
+// must be unique per concurrent caller within the source lane (a
+// lane-local worker index); each such caller may have at most one RPC
+// outstanding at a time.
+func callerKey(src, caller int) int64 { return int64(src)<<20 | int64(caller) }
+
+// Call performs a blocking RPC to lane dst: the registered handler for
+// op runs there in engine context, and the returned apply closure runs
+// back at the calling lane before the caller resumes. caller is the
+// lane-local caller identity for reply caching (see callerKey).
+// Unreliable but not retried: under fault schedules use CallRetry.
+func (pt *ShardPort) Call(p *sim.Proc, caller, dst, op int, arg, reqSize int64) {
+	pt.call(p, caller, dst, op, arg, reqSize, nil)
+}
+
+// CallRetry is Call with at-least-once retransmission: if no response
+// arrives within timeout(attempt) of virtual time, the request is
+// retransmitted with the same request id. The reply cache at the target
+// makes retries idempotent — the handler runs once, duplicates re-send
+// the cached response — so the protocol is exactly-once end to end
+// under drop, duplicate and delay schedules. It retries until a
+// response lands: a finite fault window cannot lose work, while a
+// permanent partition shows up as a lane stuck in "rpc" (by design —
+// silently dropping a response would lose whatever the handler moved).
+func (pt *ShardPort) CallRetry(p *sim.Proc, caller, dst, op int, arg, reqSize int64, timeout func(attempt int) sim.Duration) {
+	pt.call(p, caller, dst, op, arg, reqSize, timeout)
+}
+
+// pendingCall is the caller-side record of one outstanding RPC.
+type pendingCall struct {
+	id   uint64
+	done *sim.Event
+}
+
+func (pt *ShardPort) call(p *sim.Proc, caller, dst, op int, arg, reqSize int64, timeout func(int) sim.Duration) {
+	g := pt.net.Group
+	src := pt.lane
+	pt.nextReq++
+	id := pt.nextReq
+	key := callerKey(src, caller)
+	done := &sim.Event{}
+	if pt.calls == nil {
+		pt.calls = map[int64]pendingCall{}
+	}
+	if _, clash := pt.calls[key]; clash {
+		panic(fmt.Sprintf("fabric: caller %d on lane %d issued overlapping shard RPCs", caller, src))
+	}
+	pt.calls[key] = pendingCall{id: id, done: done}
+	transmit := func() {
+		pt.tracePut(p, "shard-call", dst, reqSize)
+		g.Send(pt.eng, dst, pt.net.wireDelay(reqSize), reqSize, func() {
+			pt.net.ports[dst].serve(src, key, id, op, arg)
+		})
+	}
+	pt.inject(p, reqSize)
+	transmit()
+	if timeout == nil {
+		done.Wait(p)
+	} else {
+		for attempt := 0; !done.WaitTimeout(p, timeout(attempt)); attempt++ {
+			if done.Fired() {
+				// Response and timer landed on the same tick.
+				break
+			}
+			pt.inject(p, reqSize)
+			if done.Fired() {
+				// The response arrived while we were re-paying the send gap.
+				break
+			}
+			transmit()
+		}
+	}
+	// Charge the caller-side receive overhead for the response.
+	cond := &pt.net.Cond
+	rxDone := pt.gapRx.Schedule(p.Now(), cond.RecvOverhead)
+	if d := rxDone - p.Now(); d > 0 {
+		p.Advance(d)
+	}
+}
+
+// serve handles one arrived request at the target lane, in engine
+// context. Duplicate requests (retransmissions that crossed a response
+// in flight, or fault-injected copies) hit the reply cache and re-send
+// the recorded response without re-running the handler.
+func (pt *ShardPort) serve(src int, key int64, id uint64, op int, arg int64) {
+	cond := &pt.net.Cond
+	ent, seen := pt.replies[key]
+	if !seen || ent.id != id {
+		h := pt.handlers[op]
+		if h == nil {
+			panic(fmt.Sprintf("fabric: lane %d has no handler for shard RPC op %d", pt.lane, op))
+		}
+		respSize, apply := h(src, arg)
+		ent = rpcEntry{id: id, op: op, respSize: respSize, apply: apply}
+		if pt.replies == nil {
+			pt.replies = map[int64]rpcEntry{}
+		}
+		pt.replies[key] = ent
+	}
+	// Receive-overhead then gap-injected response, all in engine context.
+	rxDone := pt.gapRx.Schedule(pt.eng.Now(), cond.RecvOverhead)
+	pt.eng.After(rxDone-pt.eng.Now(), func() {
+		txDone := pt.gapTx.Schedule(pt.eng.Now(), cond.MsgGap)
+		pt.eng.After(txDone-pt.eng.Now(), func() {
+			pt.respond(src, key, ent)
+		})
+	})
+}
+
+// respond ships one (possibly cached) response back to the caller.
+func (pt *ShardPort) respond(src int, key int64, ent rpcEntry) {
+	g := pt.net.Group
+	caller := pt.net.ports[src]
+	g.Send(pt.eng, src, pt.net.wireDelay(ent.respSize), ent.respSize, func() {
+		caller.complete(key, ent)
+	})
+}
+
+// ShardBarrier synchronizes processes across lanes: each lane's
+// participants first rendezvous locally (lane-internal WaitQueue), the
+// last arrival reports to the coordinator on lane 0 over the reliable
+// control plane, and once every participating lane has reported the
+// coordinator broadcasts the release. The two message legs give the
+// barrier a realistic ~2× wire latency cost, matching the dissemination
+// term of Cluster.BarrierCost to first order. Reusable: a lane cannot
+// re-arrive before its release lands, so one generation's state never
+// mixes with the next.
+type ShardBarrier struct {
+	net     *ShardNet
+	parts   []int // participants per lane
+	count   []int // local arrivals per lane
+	qs      []sim.WaitQueue
+	lanesIn int // lanes with participants
+	arrived int // coordinator state; lane-0 context only
+}
+
+// barrierMsgSize is the modeled payload of barrier control messages.
+const barrierMsgSize = 16
+
+// NewShardBarrier builds a barrier over the net's lanes; parts[i] is
+// the number of participating processes on lane i (0 = lane sits out).
+func NewShardBarrier(net *ShardNet, parts []int) *ShardBarrier {
+	if len(parts) != net.Group.Lanes() {
+		panic(fmt.Sprintf("fabric: barrier parts for %d lanes, net has %d", len(parts), net.Group.Lanes()))
+	}
+	b := &ShardBarrier{
+		net:   net,
+		parts: append([]int(nil), parts...),
+		count: make([]int, len(parts)),
+		qs:    make([]sim.WaitQueue, len(parts)),
+	}
+	for _, n := range parts {
+		if n > 0 {
+			b.lanesIn++
+		}
+	}
+	return b
+}
+
+// Wait parks p (running on lane) until every participant on every lane
+// has arrived.
+func (b *ShardBarrier) Wait(p *sim.Proc, lane int) {
+	g := b.net.Group
+	b.count[lane]++
+	if b.count[lane] == b.parts[lane] {
+		b.count[lane] = 0
+		eng := g.Lane(lane)
+		if lane == 0 {
+			eng.After(b.net.Cond.LoopbackLatency, b.coordArrive)
+		} else {
+			g.SendReliable(eng, 0, b.net.wireDelay(barrierMsgSize), barrierMsgSize, b.coordArrive)
+		}
+	}
+	b.qs[lane].Wait(p, "shard-barrier")
+}
+
+// coordArrive runs in lane 0's engine context for each lane's arrival.
+func (b *ShardBarrier) coordArrive() {
+	b.arrived++
+	if b.arrived < b.lanesIn {
+		return
+	}
+	b.arrived = 0
+	g := b.net.Group
+	eng0 := g.Lane(0)
+	for l := range b.parts {
+		if b.parts[l] == 0 {
+			continue
+		}
+		lane := l
+		if lane == 0 {
+			eng0.After(b.net.Cond.LoopbackLatency, func() { b.qs[0].WakeAll() })
+		} else {
+			g.SendReliable(eng0, lane, b.net.wireDelay(barrierMsgSize), barrierMsgSize,
+				func() { b.qs[lane].WakeAll() })
+		}
+	}
+}
+
+// complete runs at the calling lane when a response arrives: the first
+// copy for the current request id runs the handler's apply closure (the
+// result data landing) and wakes the caller; stale or duplicate
+// responses — retransmission echoes, fault-injected copies — are
+// ignored by the id check.
+func (pt *ShardPort) complete(key int64, ent rpcEntry) {
+	cur, ok := pt.calls[key]
+	if !ok || cur.id != ent.id {
+		return
+	}
+	delete(pt.calls, key)
+	if ent.apply != nil {
+		ent.apply()
+	}
+	cur.done.Fire()
+}

@@ -1,0 +1,158 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestConduitLookahead(t *testing.T) {
+	c := QDRInfiniBand()
+	if la := c.Lookahead(); la != c.Latency {
+		t.Fatalf("Lookahead = %v, want latency %v", la, c.Latency)
+	}
+	zero := Conduit{Name: "zero"}
+	if la := zero.Lookahead(); la != sim.LookaheadFloor {
+		t.Fatalf("zero-latency Lookahead = %v, want floor %v", la, sim.LookaheadFloor)
+	}
+}
+
+// TestShardPutMovesData: a blocking put lands real data at the target
+// lane and costs at least the wire latency round trip.
+func TestShardPutMovesData(t *testing.T) {
+	g := sim.NewShardGroup(1, 2, nil)
+	n := NewShardNet(g, QDRInfiniBand())
+	var got []byte
+	payload := []byte("hierarchical")
+	var took sim.Duration
+	g.Lane(0).Go("putter", func(p *sim.Proc) {
+		start := p.Now()
+		n.Port(0).Put(p, 1, int64(len(payload)), func() {
+			got = append([]byte(nil), payload...)
+		})
+		took = p.Now() - start
+	})
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hierarchical" {
+		t.Fatalf("payload did not land: %q", got)
+	}
+	if min := 2 * n.Cond.Latency; took < min {
+		t.Fatalf("put took %v, want >= latency round trip %v", took, min)
+	}
+}
+
+// TestShardCallRoundTrip: the handler runs at the target, the apply
+// returns data to the caller, and sequential calls reuse the plumbing.
+func TestShardCallRoundTrip(t *testing.T) {
+	g := sim.NewShardGroup(2, 3, nil)
+	n := NewShardNet(g, DDRInfiniBand())
+	const opDouble = 1
+	for lane := 0; lane < 3; lane++ {
+		pt := n.Port(lane)
+		pt.Handle(opDouble, func(src int, arg int64) (int64, func()) {
+			return 8, nil
+		})
+	}
+	sum := int64(0)
+	g.Lane(0).Go("caller", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			dst := 1 + i%2
+			arg := int64(i)
+			// The apply closure carries the "result" back: here the served
+			// lane's doubling, computed in the handler's closure below.
+			n.Port(0).Call(p, 0, dst, opDouble, arg, 8)
+			sum += 2 * arg
+		}
+	})
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 20 {
+		t.Fatalf("sum = %d, want 20", sum)
+	}
+}
+
+// TestShardCallApply: the apply closure observes handler-computed state.
+func TestShardCallApply(t *testing.T) {
+	g := sim.NewShardGroup(2, 2, nil)
+	n := NewShardNet(g, DDRInfiniBand())
+	served := 0
+	n.Port(1).Handle(7, func(src int, arg int64) (int64, func()) {
+		served++
+		v := arg * arg
+		return 8, func() { served += int(v) } // runs back at lane 0
+	})
+	g.Lane(0).Go("caller", func(p *sim.Proc) {
+		n.Port(0).Call(p, 0, 1, 7, 3, 8)
+	})
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if served != 10 { // 1 (handler) + 9 (apply)
+		t.Fatalf("served = %d, want 10", served)
+	}
+}
+
+// TestShardBarrier: all participants on all lanes leave together, and
+// the barrier is reusable.
+func TestShardBarrier(t *testing.T) {
+	g := sim.NewShardGroup(3, 3, nil)
+	n := NewShardNet(g, QDRInfiniBand())
+	b := NewShardBarrier(n, []int{2, 2, 1})
+	var exits []sim.Time
+	for lane := 0; lane < 3; lane++ {
+		for w := 0; w < []int{2, 2, 1}[lane]; w++ {
+			l, id := lane, w
+			g.Lane(l).Go("w", func(p *sim.Proc) {
+				for round := 0; round < 3; round++ {
+					p.Advance(sim.Duration(1000 * (l + id + round)))
+					b.Wait(p, l)
+				}
+				if l == 0 && id == 0 {
+					exits = append(exits, p.Now())
+				}
+			})
+		}
+	}
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(exits) != 1 {
+		t.Fatalf("exit count %d", len(exits))
+	}
+	// Three rounds, each at least two wire latencies.
+	if min := sim.Duration(6 * n.Cond.Latency); exits[0] < min {
+		t.Fatalf("barrier rounds completed at %v, want >= %v", exits[0], min)
+	}
+}
+
+// TestLaneCluster: per-lane single-node clusters charge intra-node
+// costs on the lane engine.
+func TestLaneCluster(t *testing.T) {
+	m := lehmanForTest()
+	g := sim.NewShardGroup(1, 2, nil)
+	cl := LaneCluster(g, 1, m, QDRInfiniBand())
+	if cl.Mach.Nodes != 1 {
+		t.Fatalf("lane cluster spans %d nodes", cl.Mach.Nodes)
+	}
+	if cl.Eng != g.Lane(1) {
+		t.Fatal("lane cluster bound to the wrong engine")
+	}
+	done := false
+	g.Lane(1).Go("compute", func(p *sim.Proc) {
+		before := p.Now()
+		cl.Compute(p, place(0, 0, 0), 1e-6)
+		if p.Now() <= before {
+			t.Error("Compute charged no time")
+		}
+		done = true
+	})
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("compute proc never ran")
+	}
+}

@@ -1,0 +1,96 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Sharded-engine fault injection. The same JSON schedules that drive
+// the fabric.Cluster Injector apply to a sim.ShardGroup run: message
+// rules (drop/delay/duplicate with Src/Dst node filters) become the
+// group's MessageFilter, evaluated at send time in the sending lane's
+// context with that lane's own RNG — so verdicts interleave
+// deterministically with the model's draws regardless of worker count —
+// and crash actions are booked as events on the victim lane that mark
+// it down (in-flight messages to it are dropped at their arrival
+// instants). A rule's active window is a pure function of virtual time,
+// so no cross-lane activation state is needed.
+//
+// Degrade and flap rules name fluid-Net links, which the sharded
+// fixed-rate cross-lane path does not have; InstallShard rejects
+// schedules containing them rather than silently ignoring faults.
+
+// InstallShard realizes sched against group g: installs the message
+// filter and books crash events on the victim lanes. Node indices in
+// the schedule are lane indices. A nil or empty schedule is a no-op.
+// Call after the group (and its lookahead links) is built, before Run.
+func InstallShard(g *sim.ShardGroup, sched *Schedule) error {
+	if sched == nil || len(sched.Actions) == 0 {
+		return nil
+	}
+	var msgRules []Action
+	for i := range sched.Actions {
+		a := sched.Actions[i]
+		switch a.Op {
+		case OpDrop, OpDelay, OpDuplicate:
+			msgRules = append(msgRules, a)
+		case OpCrash:
+			if a.Node >= g.Lanes() {
+				return fmt.Errorf("fault: crash node %d, sharded run has %d lanes", a.Node, g.Lanes())
+			}
+			if a.Until != 0 {
+				return fmt.Errorf("fault: crash with until_s: the sharded engine does not model revival")
+			}
+			lane := g.Lane(a.Node)
+			at := sim.FromSeconds(a.At)
+			lane.After(at-lane.Now(), func() {
+				g.CrashLane(lane)
+				lane.TraceInstant("fault", "crash", "", int64(a.Node), 0)
+			})
+		case OpDegrade, OpFlap:
+			return fmt.Errorf("fault: %s targets a fluid-net link; the sharded cross-lane path is fixed-rate (run it on the legacy engine)", a.Op)
+		default:
+			return fmt.Errorf("fault: unknown op %q", a.Op)
+		}
+	}
+	if len(msgRules) > 0 {
+		g.SetMessageFilter(shardFilter(msgRules))
+	}
+	return nil
+}
+
+// shardFilter builds the group's MessageFilter from the schedule's
+// message rules. Rules are consulted in schedule order with one RNG
+// draw per active matching rule — the same contract as the Injector's
+// MessageVerdict — and the first triggered rule wins.
+func shardFilter(rules []Action) sim.MessageFilter {
+	return func(src, dst int, at sim.Time, size int64, rng *rand.Rand) (sim.MessageVerdict, sim.Duration) {
+		now := at.Seconds()
+		for i := range rules {
+			a := &rules[i]
+			if now < a.At || (a.Until != 0 && now >= a.Until) {
+				continue
+			}
+			if a.Src >= 0 && a.Src != src {
+				continue
+			}
+			if a.Dst >= 0 && a.Dst != dst {
+				continue
+			}
+			if rng.Float64() >= a.Prob {
+				continue
+			}
+			switch a.Op {
+			case OpDrop:
+				return sim.MsgDrop, 0
+			case OpDelay:
+				return sim.MsgDelay, sim.FromSeconds(a.Extra)
+			case OpDuplicate:
+				return sim.MsgDuplicate, 0
+			}
+		}
+		return sim.MsgDeliver, 0
+	}
+}

@@ -1,0 +1,100 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestShardCallRetryLossy: under a heavy drop/duplicate/delay schedule,
+// retransmission with reply caching still completes every call exactly
+// once, deterministically across worker counts.
+func TestShardCallRetryLossy(t *testing.T) {
+	sched := &Schedule{Actions: []Action{
+		{Op: OpDrop, Prob: 0.4, Until: 0.01, Src: -1, Dst: -1},
+		{Op: OpDuplicate, Prob: 0.3, Until: 0.01, Src: -1, Dst: -1},
+		{Op: OpDelay, Prob: 0.3, Extra: 20e-6, Until: 0.01, Src: -1, Dst: -1},
+	}}
+	run := func(workers int) (int, uint64, sim.Time) {
+		d := trace.NewDigest()
+		g := sim.NewShardGroup(5, 4, d)
+		g.SetWorkers(workers)
+		n := fabric.NewShardNet(g, fabric.QDRInfiniBand())
+		if err := InstallShard(g, sched); err != nil {
+			t.Fatal(err)
+		}
+		rp := DefaultRetryPolicy()
+		handled := 0
+		for lane := 1; lane < 4; lane++ {
+			n.Port(lane).Handle(1, func(src int, arg int64) (int64, func()) {
+				handled++ // exactly once per logical call: dedup absorbs retries
+				return 64, nil
+			})
+		}
+		g.Lane(0).Go("caller", func(p *sim.Proc) {
+			for i := 0; i < 30; i++ {
+				dst := 1 + i%3
+				n.Port(0).CallRetry(p, 0, dst, 1, int64(i), 16,
+					func(try int) sim.Duration { return rp.AttemptTimeout(try, 5*sim.Microsecond) })
+			}
+		})
+		if err := g.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return handled, d.Sum64(), g.Lane(0).Now()
+	}
+	h1, d1, t1 := run(1)
+	if h1 != 30 {
+		t.Fatalf("handlers ran %d times, want exactly 30", h1)
+	}
+	h4, d4, t4 := run(4)
+	if h4 != h1 || d4 != d1 || t4 != t1 {
+		t.Fatalf("workers=4 diverged: handled %d/%d, digest %016x/%016x, end %v/%v",
+			h4, h1, d4, d1, t4, t1)
+	}
+}
+
+// TestInstallShardCrash: a crash action books the down-mark on the
+// victim lane; a message in flight across the crash instant is lost.
+func TestInstallShardCrash(t *testing.T) {
+	sched := &Schedule{Actions: []Action{
+		{Op: OpCrash, At: 10e-6, Node: 1},
+	}}
+	g := sim.NewShardGroup(3, 2, nil)
+	g.SetLookahead(0, 1, 2*sim.Microsecond)
+	if err := InstallShard(g, sched); err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	g.Lane(0).Go("sender", func(p *sim.Proc) {
+		// Arrives at 5us: before the crash, lands.
+		g.Send(p.Engine(), 1, 5*sim.Microsecond, 8, func() { delivered++ })
+		p.Advance(9 * sim.Microsecond)
+		// Sent at 9us, arrives at 14us: in flight across the 10us crash.
+		g.Send(p.Engine(), 1, 5*sim.Microsecond, 8, func() { delivered++ })
+	})
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1 (pre-crash only)", delivered)
+	}
+	if !g.LaneDown(1, 10*sim.Microsecond) || g.LaneDown(1, 9999) {
+		t.Fatal("down window wrong")
+	}
+}
+
+// TestInstallShardRejectsLinkRules: link-targeted ops have no sharded
+// equivalent and must be rejected loudly.
+func TestInstallShardRejectsLinkRules(t *testing.T) {
+	g := sim.NewShardGroup(1, 2, nil)
+	err := InstallShard(g, &Schedule{Actions: []Action{
+		{Op: OpDegrade, Link: "nic-tx0", Factor: 0.5, Src: -1, Dst: -1},
+	}})
+	if err == nil || !strings.Contains(err.Error(), "degrade") {
+		t.Fatalf("err = %v, want degrade rejection", err)
+	}
+}

@@ -1,0 +1,502 @@
+// Sharded execution: a ShardGroup partitions one simulation into
+// per-fabric-node lane engines and advances them concurrently under
+// conservative lookahead. The group always creates one lane per node —
+// independent of the worker count — so the event order inside each lane,
+// every RNG draw, and the merged trace stream are pure functions of the
+// model and the seed. The -shards flag (SetShardWorkers) chooses only
+// how many OS threads pull lanes off the work list each round; stdout,
+// TraceDigest, trace JSON and metrics manifests are byte-identical at
+// any worker count by construction.
+//
+// The synchronization protocol is the barrier-aggregated variant of the
+// classic null-message (CMB) scheme: each round the group computes
+//
+//	LBTS = min over lanes of next-pending-event time + min lookahead
+//
+// where the lookahead of a lane pair is the declared lower bound on
+// cross-lane message latency (wire latency from internal/fabric, never
+// below LookaheadFloor). Every lane may safely execute all events
+// strictly below LBTS: any message generated during the round carries at
+// least the minimum lookahead of delay, so it lands at or beyond the
+// window edge and is delivered — sorted by (time, source lane, source
+// sequence) — at the next barrier. Lanes share nothing while a round
+// runs: cross-lane sends are staged in per-source outboxes and per-lane
+// trace buffers are k-way merged by (time, lane) after the barrier.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/trace"
+)
+
+// LookaheadFloor is the minimum cross-lane lookahead. A zero-latency
+// link would make the conservative window empty (LBTS = min clock, no
+// event strictly below it), so declared lookaheads clamp here: one
+// virtual nanosecond, the resolution of sim.Time.
+const LookaheadFloor = 1 * Nanosecond
+
+// LaneStride separates the proc-id ranges of different lanes so ids in
+// the merged trace stream are unique and independent of worker count.
+const LaneStride = 1 << 16
+
+// maxTime is the open dispatch bound: beyond any event time a model can
+// schedule, while far from Time overflow when costs are added to it.
+const maxTime = Time(1) << 62
+
+var (
+	shardWorkersMu sync.Mutex
+	shardWorkers   int
+)
+
+// SetShardWorkers sets the process-wide worker-thread count for sharded
+// execution, mirroring sweep.SetWorkers. Zero (the default) means the
+// cmd binaries run their legacy single-lane experiments; experiment
+// code switches to the sharded variants when it is positive. Values are
+// clamped below at zero. Like trace.SetDefault it is read when runs are
+// built: set it before building simulations, not concurrently.
+func SetShardWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	shardWorkersMu.Lock()
+	shardWorkers = n
+	shardWorkersMu.Unlock()
+}
+
+// ShardWorkers reports the configured sharded-execution worker count.
+func ShardWorkers() int {
+	shardWorkersMu.Lock()
+	defer shardWorkersMu.Unlock()
+	return shardWorkers
+}
+
+// MessageVerdict is a fault filter's decision for one cross-lane
+// message. It mirrors fabric's injection verdicts so internal/fault
+// schedules can drive the sharded engine too.
+type MessageVerdict uint8
+
+const (
+	// MsgDeliver passes the message through unharmed.
+	MsgDeliver MessageVerdict = iota
+	// MsgDrop discards the message in flight.
+	MsgDrop
+	// MsgDuplicate delivers the message twice.
+	MsgDuplicate
+	// MsgDelay adds the returned extra latency before delivery.
+	MsgDelay
+)
+
+// MessageFilter decides the fate of one unreliable cross-lane message.
+// It runs in the sending lane's context at send time and draws any
+// randomness from rng — the sending lane's own source — so verdicts
+// interleave deterministically with the model's draws on that lane.
+// extra is the added latency for MsgDelay verdicts.
+type MessageFilter func(src, dst int, at Time, size int64, rng *rand.Rand) (v MessageVerdict, extra Duration)
+
+// shardMsg is one staged cross-lane message.
+type shardMsg struct {
+	at      Time
+	src     int
+	dst     int
+	seq     uint64 // per-source-lane send sequence: the deterministic tie-break
+	size    int64
+	verdict MessageVerdict
+	extra   Duration // MsgDelay only
+	fn      func()
+}
+
+// ShardGroup drives a set of lane engines through conservative LBTS
+// windows. Build one with NewShardGroup, declare links with
+// SetLookahead (or let fabric.NewShardNet do it), register processes on
+// the lanes, then call Run.
+type ShardGroup struct {
+	seed    int64
+	lanes   []*Engine
+	look    [][]Duration // look[src][dst]; 0 = no link declared
+	minLook Duration     // min over declared links; 0 = none declared
+	workers int
+
+	sink trace.Tracer    // the merged stream's destination (nil = untraced)
+	bufs []*trace.Buffer // per-lane window buffers (nil when sink is nil)
+
+	outbox [][]shardMsg // staged sends, indexed by source lane
+	seqs   []uint64     // per-source-lane send sequence counters
+	downAt []Time       // virtual time each lane crashed, or maxTime
+	filter MessageFilter
+
+	scratch  []shardMsg // delivery sort scratch
+	runnable []*Engine  // per-round lane work list
+	streams  [][]trace.Event
+
+	rounds int64
+	sent   int64
+	ran    bool
+}
+
+// NewShardGroup returns a group of lanes lane engines, each seeded from
+// seed mixed with its lane index, tracing into sink (nil for none). The
+// group emits the run's single KRunBegin; lane engines do not.
+func NewShardGroup(seed int64, lanes int, sink trace.Tracer) *ShardGroup {
+	if lanes <= 0 {
+		panic(fmt.Sprintf("sim: NewShardGroup with %d lanes", lanes))
+	}
+	g := &ShardGroup{
+		seed:    seed,
+		lanes:   make([]*Engine, lanes),
+		look:    make([][]Duration, lanes),
+		workers: 1,
+		sink:    sink,
+		outbox:  make([][]shardMsg, lanes),
+		seqs:    make([]uint64, lanes),
+		downAt:  make([]Time, lanes),
+	}
+	if n := ShardWorkers(); n > 1 {
+		g.workers = n
+	}
+	if sink != nil {
+		sink.Emit(trace.Event{
+			Kind: trace.KRunBegin, Proc: trace.EngineProc,
+			Cat: "sim", Name: "run", Aux: "shard",
+			Arg: seed, Arg2: int64(lanes),
+		})
+		g.bufs = make([]*trace.Buffer, lanes)
+		g.streams = make([][]trace.Event, lanes)
+	}
+	for i := range g.lanes {
+		g.look[i] = make([]Duration, lanes)
+		g.downAt[i] = maxTime
+		var tr trace.Tracer
+		if sink != nil {
+			g.bufs[i] = trace.NewBuffer()
+			tr = g.bufs[i]
+			// Advertise the sink's opt-in capabilities on the lane buffer so
+			// engines and fabrics emit (or skip) clock and link-occupancy
+			// events exactly as they would when tracing into sink directly.
+			if trace.WantsClock(sink) {
+				tr = trace.Clocked(tr)
+			}
+			if trace.WantsUtil(sink) {
+				tr = trace.Utiled(tr)
+			}
+		}
+		g.lanes[i] = newLane(g, i, laneSeed(seed, i), tr)
+	}
+	return g
+}
+
+// laneSeed mixes the group seed with the lane index (splitmix64-style
+// golden-ratio stride) so lanes draw independent, reproducible streams.
+func laneSeed(seed int64, lane int) int64 {
+	return seed + int64(lane+1)*-0x61c8864680b583eb // 2^64 / golden ratio
+}
+
+// Lanes reports the number of lanes.
+func (g *ShardGroup) Lanes() int { return len(g.lanes) }
+
+// Lane returns lane engine i. Register processes on it with Engine.Go
+// before calling Run.
+func (g *ShardGroup) Lane(i int) *Engine { return g.lanes[i] }
+
+// Rounds reports how many LBTS windows the run executed (for tests and
+// diagnostics; it is a deterministic function of the model).
+func (g *ShardGroup) Rounds() int64 { return g.rounds }
+
+// Messages reports how many cross-lane messages were staged.
+func (g *ShardGroup) Messages() int64 { return g.sent }
+
+// SetWorkers overrides the group's worker-thread count (otherwise taken
+// from ShardWorkers at construction). Call before Run.
+func (g *ShardGroup) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	g.workers = n
+}
+
+// SetMessageFilter installs a fault filter consulted for every
+// unreliable cross-lane send. Call before Run.
+func (g *ShardGroup) SetMessageFilter(f MessageFilter) { g.filter = f }
+
+// SetLookahead declares a directed cross-lane link with the given
+// latency lower bound, clamped to LookaheadFloor. Every Send from src
+// to dst must carry at least this much delay; sends over undeclared
+// pairs panic. Lookaheads are fixed for the run: declare them before
+// Run.
+func (g *ShardGroup) SetLookahead(src, dst int, d Duration) {
+	if src == dst {
+		panic(fmt.Sprintf("sim: SetLookahead(%d, %d): self links are implicit (use After)", src, dst))
+	}
+	if d < LookaheadFloor {
+		d = LookaheadFloor
+	}
+	g.look[src][dst] = d
+	if g.minLook == 0 || d < g.minLook {
+		g.minLook = d
+	}
+}
+
+// Lookahead reports the declared lookahead from src to dst (0 = no
+// link).
+func (g *ShardGroup) Lookahead(src, dst int) Duration { return g.look[src][dst] }
+
+// CrashLane marks the calling lane down as of its current virtual time:
+// messages arriving at or after this instant are dropped (the in-flight
+// loss of a node crash). Call from the lane's own simulation context —
+// typically a fault-schedule event booked on that lane. The lane engine
+// itself keeps dispatching events (timers, trace bookkeeping); silencing
+// the model is the caller's job.
+func (g *ShardGroup) CrashLane(e *Engine) {
+	if e.group != g {
+		panic("sim: CrashLane from a foreign engine")
+	}
+	// Written from lane context, read only at the delivery barrier: the
+	// round's WaitGroup orders the write before every read.
+	if e.now < g.downAt[e.lane] {
+		g.downAt[e.lane] = e.now
+	}
+}
+
+// LaneDown reports whether lane i has crashed as of time t. Valid in
+// group context and in lane i's own context.
+func (g *ShardGroup) LaneDown(i int, t Time) bool { return t >= g.downAt[i] }
+
+// Send stages a cross-lane message: fn runs in dst's engine context at
+// src.Now()+delay. delay must be at least the declared lookahead of the
+// (src, dst) link. Unreliable: the installed MessageFilter (fault
+// injection) may drop, duplicate or delay it, and messages to a crashed
+// lane are dropped. Size is the modeled payload size, recorded on fault
+// trace events.
+//
+// fn must not park. Delivery order among all messages with equal
+// arrival time is deterministic: sorted by source lane, then by send
+// order within the source lane.
+func (g *ShardGroup) Send(src *Engine, dst int, delay Duration, size int64, fn func()) {
+	g.send(src, dst, delay, size, false, fn)
+}
+
+// SendReliable is Send exempt from the fault filter (crashed
+// destinations still drop). It models control-plane traffic that rides
+// the self-healing reliable transport — barrier arrivals, termination
+// reports — whose loss the application protocols do not model.
+func (g *ShardGroup) SendReliable(src *Engine, dst int, delay Duration, size int64, fn func()) {
+	g.send(src, dst, delay, size, true, fn)
+}
+
+func (g *ShardGroup) send(src *Engine, dst int, delay Duration, size int64, reliable bool, fn func()) {
+	s := src.lane
+	if src.group != g {
+		panic("sim: Send from an engine outside this ShardGroup")
+	}
+	if dst < 0 || dst >= len(g.lanes) {
+		panic(fmt.Sprintf("sim: Send to lane %d of %d", dst, len(g.lanes)))
+	}
+	if dst == s {
+		panic(fmt.Sprintf("sim: Send from lane %d to itself (use After)", s))
+	}
+	la := g.look[s][dst]
+	if la == 0 {
+		panic(fmt.Sprintf("sim: Send over undeclared link %d -> %d", s, dst))
+	}
+	if delay < la {
+		panic(fmt.Sprintf("sim: Send %d -> %d with delay %v below lookahead %v (conservative window violated)",
+			s, dst, delay, la))
+	}
+	m := shardMsg{at: src.now + delay, src: s, dst: dst, size: size, fn: fn}
+	if g.filter != nil && !reliable {
+		m.verdict, m.extra = g.filter(s, dst, src.now, size, src.rng)
+		if m.verdict == MsgDelay {
+			m.at += m.extra // still ≥ the window edge: delay only adds
+		}
+	}
+	g.seqs[s]++
+	m.seq = g.seqs[s]
+	g.outbox[s] = append(g.outbox[s], m)
+}
+
+// Run drives the group to completion: deliver staged messages, compute
+// LBTS, advance every lane with work through the window on the worker
+// pool, merge the lanes' trace buffers, repeat until no events remain
+// anywhere. It returns a deadlock error if live processes remain parked
+// across all lanes with nothing in flight. A panic inside any lane is
+// re-raised with its origin noted.
+func (g *ShardGroup) Run() error {
+	if g.ran {
+		return fmt.Errorf("sim: ShardGroup.Run called twice")
+	}
+	g.ran = true
+	for {
+		g.deliver()
+		minNext := maxTime
+		any := false
+		for _, e := range g.lanes {
+			if t, ok := e.nextEventAt(); ok {
+				any = true
+				if t < minNext {
+					minNext = t
+				}
+			}
+		}
+		if !any {
+			break
+		}
+		lbts := maxTime
+		if g.minLook > 0 && minNext < maxTime-g.minLook {
+			lbts = minNext + g.minLook
+		}
+		g.rounds++
+		g.round(lbts)
+		g.mergeTrace()
+		for _, e := range g.lanes {
+			e.repanic() // no-op unless the round recorded a panic
+		}
+	}
+	var stuck []string
+	for i, e := range g.lanes {
+		if e.nLive > e.nDaemon {
+			for _, s := range e.stuckProcs() {
+				stuck = append(stuck, fmt.Sprintf("lane%d/%s", i, s))
+			}
+		}
+	}
+	if len(stuck) > 0 {
+		return fmt.Errorf("sim: shard deadlock after %d rounds: %d stuck: %v",
+			g.rounds, len(stuck), stuck)
+	}
+	return nil
+}
+
+// deliver moves every staged message into its destination lane's heap,
+// in globally sorted (time, source lane, source sequence) order, so
+// equal-time deliveries get destination-heap sequence numbers — and
+// therefore execution order — independent of worker count. Runs in
+// group context between rounds.
+func (g *ShardGroup) deliver() {
+	all := g.scratch[:0]
+	for s := range g.outbox {
+		all = append(all, g.outbox[s]...)
+		g.outbox[s] = g.outbox[s][:0]
+	}
+	if len(all) == 0 {
+		g.scratch = all
+		return
+	}
+	g.sent += int64(len(all))
+	sort.Slice(all, func(i, j int) bool {
+		a, b := &all[i], &all[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+	for i := range all {
+		m := all[i]
+		dst := g.lanes[m.dst]
+		// The down-check runs at execution time in the destination lane,
+		// not here: a crash event inside the upcoming window may precede
+		// the arrival, and downAt[dst] is only written from lane dst's own
+		// context, so the read is race-free there.
+		arrive := func(aux string) func() {
+			return func() {
+				if g.LaneDown(m.dst, dst.now) {
+					dst.traceShardFault("down-drop", m.src, m.dst, m.size)
+					return
+				}
+				if aux != "" {
+					dst.traceShardFault(aux, m.src, m.dst, m.size)
+				}
+				m.fn()
+			}
+		}
+		switch m.verdict {
+		case MsgDrop:
+			dst.schedule(m.at, nil, func() { dst.traceShardFault("drop", m.src, m.dst, m.size) })
+		case MsgDuplicate:
+			dst.schedule(m.at, nil, arrive("duplicate"))
+			dst.schedule(m.at, nil, arrive(""))
+		case MsgDelay:
+			dst.schedule(m.at, nil, arrive("delay"))
+		default:
+			dst.schedule(m.at, nil, arrive(""))
+		}
+	}
+	// Clear retained closures before reuse.
+	for i := range all {
+		all[i] = shardMsg{}
+	}
+	g.scratch = all[:0]
+}
+
+// traceShardFault records one fault-injection outcome on a cross-lane
+// message, in the destination lane's stream at delivery time.
+func (e *Engine) traceShardFault(what string, src, dst int, size int64) {
+	if e.tracer == nil {
+		return
+	}
+	e.emit(trace.KInstant, trace.EngineProc, trace.CatComm, what,
+		trace.ClassFault, size, trace.PackEndpoints(0, 0, src, dst))
+}
+
+// round advances every lane holding an event below limit through the
+// window. With one worker the lanes run inline in lane order; otherwise
+// workers pull lanes off a shared cursor. Lanes share no state during a
+// round, so assignment order cannot affect the simulation; the
+// WaitGroup barrier orders every lane's writes before the group reads
+// them back.
+func (g *ShardGroup) round(limit Time) {
+	run := g.runnable[:0]
+	for _, e := range g.lanes {
+		if t, ok := e.nextEventAt(); ok && t < limit {
+			run = append(run, e)
+		}
+	}
+	g.runnable = run[:0] // keep capacity; contents dead after the round
+	w := g.workers
+	if w > len(run) {
+		w = len(run)
+	}
+	if w <= 1 {
+		for _, e := range run {
+			e.runWindow(limit)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(run) {
+					return
+				}
+				run[i].runWindow(limit)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// mergeTrace replays the round's per-lane buffers into the sink,
+// k-way merged by (time, lane), then resets them.
+func (g *ShardGroup) mergeTrace() {
+	if g.sink == nil {
+		return
+	}
+	for i, b := range g.bufs {
+		g.streams[i] = b.Events()
+	}
+	trace.MergeStreams(g.sink, g.streams)
+	for _, b := range g.bufs {
+		b.Reset()
+	}
+}

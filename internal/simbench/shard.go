@@ -1,0 +1,79 @@
+// Sharded-engine benchmark bodies: the cross-lane message hot path and
+// the end-to-end UTS traversal at increasing -shards worker counts. The
+// scaling series is recorded so BENCH_sim.json documents how the
+// sharded engine behaves as workers grow on the recording host;
+// correctness at every worker count is gated separately by the
+// byte-identity CI job, so these numbers are performance evidence, not
+// a determinism check.
+package simbench
+
+import (
+	"testing"
+
+	"repro/internal/apps/uts"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ShardPut measures the cross-lane blocking put on the node-sharded
+// engine: one reliable payload send, one remote apply and one ack
+// round-trip per op, including the per-window LBTS computation and the
+// sorted outbox merge the lanes pay for every delivery. Run at one
+// worker so the number pins the protocol cost itself, free of OS
+// scheduling noise.
+func ShardPut(b *testing.B) {
+	b.ReportAllocs()
+	old := sim.ShardWorkers()
+	sim.SetShardWorkers(1)
+	defer sim.SetShardWorkers(old)
+	g := sim.NewShardGroup(1, 2, trace.Default())
+	net := fabric.NewShardNet(g, fabric.QDRInfiniBand())
+	sink := 0
+	g.Lane(0).Go("putter", func(p *sim.Proc) {
+		pt := net.Port(0)
+		for n := 0; n < b.N; n++ {
+			pt.Put(p, 1, 8, func() { sink++ })
+		}
+	})
+	b.ResetTimer()
+	if err := g.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if sink != b.N {
+		b.Fatalf("applied %d of %d puts", sink, b.N)
+	}
+}
+
+// utsShard runs the full sharded UTS traversal (8 lanes, 16 threads,
+// local stealing with rapid diffusion) once per op with the given
+// worker-thread count. The virtual-time result is identical at every
+// count; the series records what the parallelism buys in wall clock on
+// the recording host.
+func utsShard(b *testing.B, workers int) {
+	b.ReportAllocs()
+	old := sim.ShardWorkers()
+	sim.SetShardWorkers(workers)
+	defer sim.SetShardWorkers(old)
+	for n := 0; n < b.N; n++ {
+		r, err := uts.RunSharded(uts.Config{
+			Threads:  16,
+			PerNode:  2,
+			Strategy: uts.LocalRapid,
+			Tree:     uts.Small(30000),
+			Seed:     7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Nodes == 0 {
+			b.Fatal("traversal counted zero nodes")
+		}
+	}
+}
+
+// UTSShard1..8 are the recorded shard-scaling points.
+func UTSShard1(b *testing.B) { utsShard(b, 1) }
+func UTSShard2(b *testing.B) { utsShard(b, 2) }
+func UTSShard4(b *testing.B) { utsShard(b, 4) }
+func UTSShard8(b *testing.B) { utsShard(b, 8) }

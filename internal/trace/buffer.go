@@ -26,3 +26,13 @@ func (b *Buffer) ReplayInto(t Tracer) {
 		t.Emit(e)
 	}
 }
+
+// Events exposes the recorded stream. The slice is the buffer's live
+// backing store: read it, do not retain it across a Reset or Emit.
+func (b *Buffer) Events() []Event { return b.events }
+
+// Reset discards the recorded stream, keeping the backing array for
+// reuse. Sharded execution drains each lane's buffer at every window
+// barrier, so the steady-state allocation cost of per-lane tracing is
+// zero.
+func (b *Buffer) Reset() { b.events = b.events[:0] }

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestMergeStreams checks the (Time, stream index) order against a
+// reference stable sort, on randomized time-sorted streams with heavy
+// timestamp collisions.
+func TestMergeStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(6)
+		streams := make([][]Event, k)
+		type keyed struct {
+			e      Event
+			stream int
+			pos    int
+		}
+		var all []keyed
+		for i := range streams {
+			n := rng.Intn(20)
+			now := int64(0)
+			for j := 0; j < n; j++ {
+				now += int64(rng.Intn(3)) // frequent equal timestamps
+				e := Event{Time: now, Kind: KInstant, Proc: int32(i), Arg: int64(j)}
+				streams[i] = append(streams[i], e)
+				all = append(all, keyed{e, i, j})
+			}
+		}
+		sort.SliceStable(all, func(a, b int) bool {
+			if all[a].e.Time != all[b].e.Time {
+				return all[a].e.Time < all[b].e.Time
+			}
+			if all[a].stream != all[b].stream {
+				return all[a].stream < all[b].stream
+			}
+			return all[a].pos < all[b].pos
+		})
+		var got Buffer
+		MergeStreams(&got, streams)
+		if got.Len() != len(all) {
+			t.Fatalf("trial %d: merged %d events, want %d", trial, got.Len(), len(all))
+		}
+		for i, e := range got.Events() {
+			if e != all[i].e {
+				t.Fatalf("trial %d: event %d = %+v, want %+v", trial, i, e, all[i].e)
+			}
+		}
+	}
+}
+
+// TestMergeStreamsDigest: merging must be reference-equal for the
+// digest too (the property sharded execution relies on).
+func TestMergeStreamsDigest(t *testing.T) {
+	a := []Event{{Time: 1, Name: "a1"}, {Time: 5, Name: "a2"}}
+	b := []Event{{Time: 1, Name: "b1"}, {Time: 1, Name: "b2"}, {Time: 9, Name: "b3"}}
+	d := NewDigest()
+	MergeStreams(d, [][]Event{a, b})
+	ref := NewDigest()
+	for _, e := range []Event{a[0], b[0], b[1], a[1], b[2]} {
+		ref.Emit(e)
+	}
+	if d.Sum64() != ref.Sum64() || d.Events() != 5 {
+		t.Fatalf("digest %016x (%d), want %016x (5)", d.Sum64(), d.Events(), ref.Sum64())
+	}
+}

@@ -12,7 +12,10 @@
 // cmd/upc-metrics). With -parallel=N the experiment sweeps fan
 // independent simulations out over N worker threads; results, stdout,
 // the TraceDigest and the manifest are byte-identical at any N (see
-// internal/sweep).
+// internal/sweep). With -shards=N the experiments that have sharded
+// variants run each simulation on the node-sharded parallel engine with
+// N worker threads advancing the lanes; output is again byte-identical
+// at any N >= 1 (see internal/sim's ShardGroup).
 package tracecli
 
 import (
@@ -26,6 +29,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/trace"
 )
@@ -41,6 +45,10 @@ var metricsPath = flag.String("metrics", "",
 
 var parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 	"worker threads for experiment sweeps (1 = sequential; output is identical at any value)")
+
+var shards = flag.Int("shards", 0,
+	"run sharded-engine experiment variants with N worker threads inside each simulation "+
+		"(0 = legacy single-engine experiments; output is identical at any N >= 1)")
 
 var faultsPath = flag.String("faults", "",
 	"JSON fault schedule to inject into every run (see internal/fault); "+
@@ -63,6 +71,7 @@ func Start() {
 // start is Start without the exit, for tests.
 func start() error {
 	sweep.SetWorkers(*parallel)
+	sim.SetShardWorkers(*shards)
 	// The fault schedule is installed before the tracing early-return:
 	// -faults works on its own, without any tracing flag.
 	if *faultsPath != "" {
@@ -143,11 +152,16 @@ func toolName() string {
 // change no simulated outcome and -metrics names the output file, so
 // recording them would make equal runs produce unequal manifests (the
 // CI gate diffs manifests across -parallel=1 and -parallel=8).
+// -shards is excluded for the worker-count part of the same reason:
+// -shards=1 and -shards=8 select the same sharded simulation and must
+// yield byte-identical manifests (CI diffs those too); the legacy/
+// sharded experiment switch it also carries is visible in the rendered
+// tables instead.
 func runParams() map[string]string {
 	p := map[string]string{}
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "trace", "digest", "metrics", "parallel":
+		case "trace", "digest", "metrics", "parallel", "shards":
 			return
 		}
 		if strings.HasPrefix(f.Name, "test.") {
