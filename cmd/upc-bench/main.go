@@ -150,6 +150,13 @@ func sortedNames(m map[string]record) []string {
 	return names
 }
 
+// zeroAllocBenches are the pooled one-sided hot-path benchmarks the
+// zero-allocation contract covers. -check holds them to exactly zero on
+// both sides of the comparison — a regenerated baseline that records
+// any allocation for them is itself a failure, so the gate cannot be
+// weakened by rerunning upc-bench after a regression.
+var zeroAllocBenches = []string{"FabricPut", "ShardPut", "SharedLink32Flows"}
+
 func runCheck(fresh map[string]record) int {
 	data, err := os.ReadFile(*baseline)
 	if err != nil {
@@ -161,6 +168,19 @@ func runCheck(fresh map[string]record) int {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", *baseline, err)
 		return 1
 	}
+	zeroFail := 0
+	for _, name := range zeroAllocBenches {
+		if b, ok := base.Benchmarks[name]; ok && b.AllocsPerOp != 0 {
+			fmt.Printf("FAIL %-20s baseline records %d allocs/op; the pooled hot path is zero-alloc by contract\n",
+				name, b.AllocsPerOp)
+			zeroFail++
+		}
+		if f, ok := fresh[name]; ok && f.AllocsPerOp != 0 {
+			fmt.Printf("FAIL %-20s measured %d allocs/op; the pooled hot path is zero-alloc by contract\n",
+				name, f.AllocsPerOp)
+			zeroFail++
+		}
+	}
 	// The serial benchmarks are deterministic, so their allocs/op must
 	// match the baseline exactly; the parallel (sharded) ones allocate a
 	// scheduling-dependent amount of park/unpark machinery, so they get
@@ -169,7 +189,7 @@ func runCheck(fresh map[string]record) int {
 	for _, bm := range simbench.All {
 		parallel[bm.Name] = bm.Parallel
 	}
-	fail := 0
+	fail := zeroFail
 	for _, name := range sortedNames(base.Benchmarks) {
 		b := base.Benchmarks[name]
 		f, ok := fresh[name]

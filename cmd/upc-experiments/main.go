@@ -72,11 +72,19 @@ func fmtSeconds(ns int64) string {
 func main() {
 	quick := flag.Bool("quick", true,
 		"smaller trees and no SMT sweep points (pass -quick=false for the full paper-scale run)")
+	only := flag.String("only", "",
+		"render a single experiment by index name (e.g. \"Figure 3.1b\") instead of the full sweep")
 	flag.Parse()
 	tracecli.Start()
 	stats := &runStats{bytes: map[string]int64{}}
 	trace.SetDefault(trace.Tee(trace.Default(), stats))
-	if err := experiments.All(os.Stdout, *quick); err != nil {
+	run := func() error {
+		if *only != "" {
+			return experiments.Only(os.Stdout, *only, *quick)
+		}
+		return experiments.All(os.Stdout, *quick)
+	}
+	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "upc-experiments:", err)
 		os.Exit(1)
 	}

@@ -1,6 +1,7 @@
 // upcvet is the repository's invariant checker: a multichecker that
 // runs the internal/analysis suite — wallclock, maporder, rawgo,
-// affinity, spanpair — over the module's packages, test files included.
+// affinity, spanpair, poolalloc — over the module's packages, test
+// files included.
 // CI gates every PR on a clean run; see DESIGN.md "Determinism
 // invariants" for what each rule protects and internal/analysis for
 // the //upcvet: annotation grammar.

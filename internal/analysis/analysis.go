@@ -5,7 +5,7 @@
 // time only, deterministic event order, all concurrency through
 // sim.Proc or the sweep pool, and the paper's castability contract —
 // and each analyzer encodes one of them (see wallclock.go, maporder.go,
-// rawgo.go, affinity.go, spanpair.go).
+// rawgo.go, affinity.go, spanpair.go, poolalloc.go).
 //
 // The framework mirrors the golang.org/x/tools/go/analysis API shape
 // (Analyzer, Pass, Diagnostic, suggested fixes) but is built on the
@@ -22,7 +22,7 @@
 //	//upcvet:NAME[,NAME...] [-- reason]
 //
 // where NAME is an analyzer name (wallclock, maporder, rawgo, affinity,
-// spanpair) or one of its aliases (maporder also answers to "ordered",
+// spanpair, poolalloc) or one of its aliases (maporder also answers to "ordered",
 // the spelling used at loop sites: //upcvet:ordered). The free-text
 // reason after "--" is for the human reader; upcvet ignores it but the
 // reviewer should not — an annotation without a justification is a
@@ -60,7 +60,7 @@ type Analyzer struct {
 }
 
 // All lists every analyzer in the suite, in reporting order.
-var All = []*Analyzer{Wallclock, Maporder, Rawgo, Affinity, Spanpair}
+var All = []*Analyzer{Wallclock, Maporder, Rawgo, Affinity, Spanpair, Poolalloc}
 
 // ByName resolves an analyzer by name.
 func ByName(name string) (*Analyzer, bool) {

@@ -1,0 +1,20 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestPoolalloc(t *testing.T) {
+	// Pool bypasses, standalone events and byte staging buffers in a
+	// hot-path package: flagged, except the annotated site and the
+	// value/non-byte shapes.
+	analysistest.Run(t, "testdata/poolalloc/bad", "repro/internal/fabric", analysis.Poolalloc)
+	// The same constructs in a host-side benchmark package: exempt.
+	analysistest.Run(t, "testdata/poolalloc/ok", "repro/internal/simbench", analysis.Poolalloc)
+	// Inside sim itself: own Event literals are the implementation and
+	// exempt; free-list bypasses are still flagged.
+	analysistest.Run(t, "testdata/poolalloc/sim", "repro/internal/sim", analysis.Poolalloc)
+}

@@ -1,0 +1,45 @@
+// Package fabricdata poses as repro/internal/fabric: fresh heap
+// allocations of free-list-managed record types, standalone events and
+// byte staging buffers must each be flagged, except at annotated sites.
+package fabricdata
+
+import "repro/internal/sim"
+
+type rec struct{ next *rec }
+
+// port declares the pool that makes rec a managed record type.
+type port struct {
+	pool sim.FreeList[rec]
+}
+
+func fresh() *rec {
+	return &rec{} // want "bypasses the free list"
+}
+
+func freshNew() *rec {
+	return new(rec) // want "bypasses the free list"
+}
+
+func event() *sim.Event {
+	return &sim.Event{} // want "standalone event allocation"
+}
+
+func stage(n int) []byte {
+	return make([]byte, n) // want "payload staging buffer"
+}
+
+func annotated() *rec {
+	return &rec{} //upcvet:poolalloc -- suppressed: the annotation must silence the finding
+}
+
+func value() rec {
+	return rec{} // a stack value, not a heap bypass: must not be flagged
+}
+
+func modelSlice(n int) []int64 {
+	return make([]int64, n) // non-byte slices are modeling state: must not be flagged
+}
+
+func useParts(p *port) *rec {
+	return p.pool.Get()
+}

@@ -1,0 +1,17 @@
+// Package okdata holds the same constructs as bad.go but is
+// type-checked as repro/internal/simbench — a host-side benchmark
+// package outside the comm hot path, exempt from the rule.
+package okdata
+
+import "repro/internal/sim"
+
+type rec struct{ next *rec }
+
+type bench struct {
+	pool sim.FreeList[rec]
+}
+
+func fresh() *rec            { return &rec{} }
+func event() *sim.Event      { return &sim.Event{} }
+func stage(n int) []byte     { return make([]byte, n) }
+func useParts(b *bench) *rec { return b.pool.Get() }

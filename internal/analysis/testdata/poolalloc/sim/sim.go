@@ -1,0 +1,29 @@
+// Package simdata poses as repro/internal/sim itself: the package that
+// implements Event may allocate its own event values, but bypassing a
+// free list is still flagged there.
+package simdata
+
+type Event struct{ fired bool }
+
+type FreeList[T any] struct{ free []*T }
+
+// Get stands in for the real free list's constructor path; the new(T)
+// inside a generic pool body is the pool API, not a bypass.
+func (l *FreeList[T]) Get() *T {
+	if n := len(l.free); n > 0 {
+		x := l.free[n-1]
+		l.free = l.free[:n-1]
+		return x
+	}
+	return new(T)
+}
+
+type rec struct{ next *rec }
+
+var pool FreeList[rec]
+
+func ownEvent() *Event { return &Event{} } // sim implements Event: exempt
+
+func fresh() *rec {
+	return &rec{} // want "bypasses the free list"
+}

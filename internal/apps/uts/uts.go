@@ -174,6 +174,14 @@ func Run(cfg Config) (Result, error) {
 		if t.ID == 0 {
 			stop = t.Now()
 		}
+		// The runtime's translation accounting rides the same trace
+		// stream (xlate_access / xlate_hit / xlate_miss at barriers and
+		// thread exit); mirror it into the app counters so trace-fed
+		// consumers and Result.Counters agree exactly.
+		xa, xh, xm := t.XlateStats()
+		w.c.Add("xlate_access", xa)
+		w.c.Add("xlate_hit", xh)
+		w.c.Add("xlate_miss", xm)
 		g.counters.Merge(w.c)
 		g.nodes += w.count
 		if w.deepest > g.maxDepth {

@@ -403,13 +403,16 @@ func utsRunQuick(conduit string, procs int, optimized bool, quick bool, tr trace
 	return r.MNodesPerSec, nil
 }
 
-// All runs every experiment in order, writing each to w.
-func All(w io.Writer, quick bool) error {
-	steps := []struct {
-		name string
-		fn   func() error
-	}{
+// step is one named entry of the experiment index.
+type step struct {
+	name string
+	fn   func() error
+}
+
+func steps(w io.Writer, quick bool) []step {
+	return []step{
 		{"Table 3.1", func() error { return Table31(w) }},
+		{"Figure 3.1b", func() error { return FigureXlate(w) }},
 		{"Figure 3.3", func() error { return Figure33(w, quick) }},
 		{"Table 3.2", func() error { return Table32(w, quick) }},
 		{"Figure 3.4(a)", func() error { return Figure34a(w) }},
@@ -422,11 +425,32 @@ func All(w io.Writer, quick bool) error {
 		{"Figure 4.6", func() error { return Figure46(w, quick) }},
 		{"Summary", func() error { return Summary(w, quick) }},
 	}
-	for _, s := range steps {
+}
+
+// All runs every experiment in order, writing each to w.
+func All(w io.Writer, quick bool) error {
+	for _, s := range steps(w, quick) {
 		if err := s.fn(); err != nil {
 			return fmt.Errorf("%s: %w", s.name, err)
 		}
 		fmt.Fprintln(w)
 	}
 	return nil
+}
+
+// Only runs the single experiment whose index name matches name (the
+// upc-experiments -only flag, used by CI to publish one figure as an
+// artifact without the full sweep).
+func Only(w io.Writer, name string, quick bool) error {
+	var names []string
+	for _, s := range steps(w, quick) {
+		if s.name == name {
+			if err := s.fn(); err != nil {
+				return fmt.Errorf("%s: %w", s.name, err)
+			}
+			return nil
+		}
+		names = append(names, s.name)
+	}
+	return fmt.Errorf("unknown experiment %q (have %v)", name, names)
 }

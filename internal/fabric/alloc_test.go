@@ -1,0 +1,110 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// The allocation-regression tests pin the untraced one-sided hot path
+// at zero allocations per operation: operation records, flows and
+// delivery legs all come from free lists, and the blocking wrappers
+// release their records internally. testing.AllocsPerRun runs inside
+// the simulated process — the engine is otherwise idle, so any count it
+// sees is the operation's own.
+
+func TestBlockingPutNoAlloc(t *testing.T) {
+	e := sim.New(1)
+	c := NewCluster(e, topo.Pyramid(), QDRInfiniBand())
+	src := c.MustEndpoint(0)
+	dst := c.MustEndpoint(1)
+	per := -1.0
+	e.Go("p", func(p *sim.Proc) {
+		for i := 0; i < 64; i++ {
+			src.Put(p, dst, 8, nil)
+		}
+		per = testing.AllocsPerRun(200, func() { src.Put(p, dst, 8, nil) })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if per != 0 {
+		t.Errorf("blocking Put allocates %v allocs/op, want 0", per)
+	}
+	if out := c.PoolStats().Outstanding(); out != 0 {
+		t.Errorf("pool leak: %d records outstanding after quiescence", out)
+	}
+}
+
+func TestBlockingGetNoAlloc(t *testing.T) {
+	e := sim.New(1)
+	c := NewCluster(e, topo.Pyramid(), QDRInfiniBand())
+	src := c.MustEndpoint(0)
+	dst := c.MustEndpoint(1)
+	per := -1.0
+	e.Go("p", func(p *sim.Proc) {
+		for i := 0; i < 64; i++ {
+			src.Get(p, dst, 8, nil)
+		}
+		per = testing.AllocsPerRun(200, func() { src.Get(p, dst, 8, nil) })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if per != 0 {
+		t.Errorf("blocking Get allocates %v allocs/op, want 0", per)
+	}
+	if out := c.PoolStats().Outstanding(); out != 0 {
+		t.Errorf("pool leak: %d records outstanding after quiescence", out)
+	}
+}
+
+func TestShardPutNoAlloc(t *testing.T) {
+	old := sim.ShardWorkers()
+	sim.SetShardWorkers(1)
+	defer sim.SetShardWorkers(old)
+	g := sim.NewShardGroup(1, 2, trace.Default())
+	net := NewShardNet(g, QDRInfiniBand())
+	per := -1.0
+	sink := 0
+	apply := func() { sink++ }
+	g.Lane(0).Go("putter", func(p *sim.Proc) {
+		pt := net.Port(0)
+		for i := 0; i < 64; i++ {
+			pt.Put(p, 1, 8, apply)
+		}
+		per = testing.AllocsPerRun(200, func() { pt.Put(p, 1, 8, apply) })
+	})
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if per != 0 {
+		t.Errorf("shard Put allocates %v allocs/op, want 0", per)
+	}
+	if out := net.PoolStats().Add(g.ArrivalPoolStats()).Outstanding(); out != 0 {
+		t.Errorf("pool leak: %d records outstanding after quiescence", out)
+	}
+}
+
+func TestSharedLinkTransferNoAlloc(t *testing.T) {
+	e := sim.New(1)
+	l := sim.NewSharedLink(e, 1e9)
+	per := -1.0
+	e.Go("p", func(p *sim.Proc) {
+		for i := 0; i < 64; i++ {
+			l.Transfer(p, 1000)
+		}
+		per = testing.AllocsPerRun(200, func() { l.Transfer(p, 1000) })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if per != 0 {
+		t.Errorf("SharedLink.Transfer allocates %v allocs/op, want 0", per)
+	}
+	if out := l.PoolStats().Outstanding(); out != 0 {
+		t.Errorf("pool leak: %d records outstanding after quiescence", out)
+	}
+}

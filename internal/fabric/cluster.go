@@ -31,6 +31,11 @@ type Cluster struct {
 	// faults is the installed fault model (nil when fault injection is
 	// off, which keeps the message hooks to a single pointer check).
 	faults FaultModel
+
+	// Operation free lists (see pool.go).
+	putPool sim.FreeList[putOp]
+	getPool sim.FreeList[getOp]
+	memPool sim.FreeList[memOp]
 }
 
 // NewCluster wires machine m onto engine e with the given conduit. It
@@ -150,24 +155,17 @@ func (c *Cluster) MemCopyAsync(p *sim.Proc, from, to topo.Place, size int64, ove
 	if c.Eng.Tracing() {
 		p.TraceInstant("fabric", "memcopy", socketAux(from, to), size, 0)
 	}
-	op := &NetOp{}
-	var flow *FlowOp
+	o := c.getMemOp()
+	o.apply = apply
 	if from.Socket == to.Socket {
 		// Read + write through one controller: 2x the payload.
-		flow = c.Net.Start(2*size, 0, c.MemLink(from.Node, from.Socket))
+		c.Net.StartAction(2*size, 0, o, c.MemLink(from.Node, from.Socket))
 	} else {
 		cap := c.Mach.MemBWSocket / c.Mach.NUMAFactor / 2
-		flow = c.Net.Start(size, cap,
+		c.Net.StartAction(size, cap, o,
 			c.MemLink(from.Node, from.Socket), c.MemLink(to.Node, to.Socket))
 	}
-	flow.OnComplete(func() {
-		if apply != nil {
-			apply()
-		}
-		op.Local.Fire()
-		op.Remote.Fire()
-	})
-	return op, nil
+	return &o.op, nil
 }
 
 // socketAux labels a copy's socket relation for the trace.
@@ -291,6 +289,9 @@ type NetOp struct {
 	Local sim.Event
 	// Remote fires when the payload has been applied at the target.
 	Remote sim.Event
+	// owner is the pooled operation record carrying this handle, nil for
+	// standalone handles (MemCopyAsync on an unpooled path, tests).
+	owner releasable
 }
 
 // WaitLocal suspends p until the source buffer is reusable.
@@ -299,6 +300,18 @@ func (op *NetOp) WaitLocal(p *sim.Proc) { op.Local.Wait(p) }
 // WaitRemote suspends p until the operation completed at the target.
 func (op *NetOp) WaitRemote(p *sim.Proc) { op.Remote.Wait(p) }
 
+// Release returns the operation's pooled record to its free list once
+// the caller is done with the handle. After Release the handle must not
+// be touched: the record is recycled as soon as any in-flight machinery
+// drains, and a later wait or poll would observe an unrelated
+// operation. Releasing is optional — an unreleased record is simply
+// garbage collected — and idempotent.
+func (op *NetOp) Release() {
+	if op.owner != nil {
+		op.owner.release()
+	}
+}
+
 // PutAsync injects a one-sided put of size bytes from ep to dst. The
 // caller is charged the send overhead and its share of injection
 // serialization; the returned handle's Remote event fires when the data is
@@ -306,7 +319,8 @@ func (op *NetOp) WaitRemote(p *sim.Proc) { op.Remote.Wait(p) }
 // context). Same-node endpoints take the conduit's loopback path.
 func (ep *Endpoint) PutAsync(p *sim.Proc, dst *Endpoint, size int64, apply func()) *NetOp {
 	cond := &ep.c.Conduit
-	op := &NetOp{}
+	o := ep.c.getPutOp()
+	o.ep, o.dst, o.size, o.apply = ep, dst, size, apply
 	if !ep.Shared {
 		p.Advance(cond.SendOverhead)
 	}
@@ -318,70 +332,45 @@ func (ep *Endpoint) PutAsync(p *sim.Proc, dst *Endpoint, size int64, apply func(
 	// Fault injection decides the message's fate at injection time, in
 	// deterministic proc order. The payload still drains from the source
 	// either way (the NIC did the work), so Local always fires.
-	verdict, extra := VerdictDeliver, sim.Duration(0)
+	o.verdict = VerdictDeliver
+	extra := sim.Duration(0)
 	if ep.c.faults != nil {
-		verdict, extra = ep.c.messageVerdict(ep.node, dst.node, size)
+		o.verdict, extra = ep.c.messageVerdict(ep.node, dst.node, size)
 	}
 
-	var flow *FlowOp
-	var lat sim.Duration
+	if dst.node == ep.node {
+		o.lat = cond.LoopbackLatency
+	} else {
+		o.lat = cond.Latency
+	}
+	if o.verdict == VerdictDelay {
+		o.lat += extra
+	}
+	// o is the flow's completion action; it schedules the delivery legs
+	// when the payload drains (inline for empty payloads).
 	if dst.node == ep.node {
 		// Network loopback still runs through the HCA: it consumes the
 		// node's NIC resources, which is exactly what PSHM avoids.
-		flow = ep.c.Net.Start(size, cond.LoopbackBW,
+		ep.c.Net.StartAction(size, cond.LoopbackBW, o,
 			ep.conn, ep.c.egress[ep.node], ep.c.ingress[ep.node])
-		lat = cond.LoopbackLatency
 	} else {
-		flow = ep.c.Net.Start(size, cond.ConnBW,
+		ep.c.Net.StartAction(size, cond.ConnBW, o,
 			ep.conn, ep.c.egress[ep.node], ep.c.ingress[dst.node])
-		lat = cond.Latency
 	}
-	if verdict == VerdictDelay {
-		lat += extra
-	}
-	flow.OnComplete(func() {
-		op.Local.Fire()
-		eng := ep.c.Eng
-		deliveries := 1
-		switch verdict {
-		case VerdictDrop:
-			ep.c.traceFault("drop", ep.node, dst.node, size)
-			return
-		case VerdictDuplicate:
-			deliveries = 2
-			ep.c.traceFault("dup", ep.node, dst.node, size)
-		case VerdictDelay:
-			ep.c.traceFault("delay", ep.node, dst.node, size)
-		}
-		for i := 0; i < deliveries; i++ {
-			eng.After(lat, func() {
-				if ep.c.NodeDown(dst.node) {
-					// Target crashed while the message was in flight.
-					ep.c.traceFault("drop", ep.node, dst.node, size)
-					return
-				}
-				rxDone := dst.gapRx.Schedule(eng.Now(), dst.rxOccupancy())
-				eng.After(rxDone-eng.Now(), func() {
-					if apply != nil {
-						apply()
-					}
-					eng.TraceInstant("fabric", "deliver", cond.Name, size, 0)
-					op.Remote.Fire()
-				})
-			})
-		}
-	})
-	return op
+	return &o.op
 }
 
 // Put is the blocking form of PutAsync: it returns after remote completion
-// has been acknowledged back to the initiator (one extra latency).
+// has been acknowledged back to the initiator (one extra latency). The
+// operation record is released internally, so the blocking path is fully
+// pooled.
 func (ep *Endpoint) Put(p *sim.Proc, dst *Endpoint, size int64, apply func()) {
 	op := ep.PutAsync(p, dst, size, apply)
 	op.WaitRemote(p)
 	if dst.node != ep.node {
 		p.Advance(ep.c.Conduit.Latency) // completion acknowledgement
 	}
+	op.Release()
 }
 
 // GetAsync injects a one-sided get of size bytes from src into ep's node.
@@ -389,7 +378,8 @@ func (ep *Endpoint) Put(p *sim.Proc, dst *Endpoint, size int64, apply func()) {
 // streams back on src's connection. apply (may be nil) runs at delivery.
 func (ep *Endpoint) GetAsync(p *sim.Proc, src *Endpoint, size int64, apply func()) *NetOp {
 	cond := &ep.c.Conduit
-	op := &NetOp{}
+	o := ep.c.getGetOp()
+	o.ep, o.src, o.size, o.apply = ep, src, size, apply
 	if !ep.Shared {
 		p.Advance(cond.SendOverhead)
 	}
@@ -402,77 +392,33 @@ func (ep *Endpoint) GetAsync(p *sim.Proc, src *Endpoint, size int64, apply func(
 	// leg (no payload ever starts), a delay or duplicate applies to the
 	// returning payload. Drawn at injection time, in deterministic proc
 	// order.
-	verdict, extra := VerdictDeliver, sim.Duration(0)
+	o.verdict = VerdictDeliver
+	extra := sim.Duration(0)
 	if ep.c.faults != nil {
-		verdict, extra = ep.c.messageVerdict(ep.node, src.node, size)
+		o.verdict, extra = ep.c.messageVerdict(ep.node, src.node, size)
 	}
 
-	eng := ep.c.Eng
-	sameNode := src.node == ep.node
+	o.sameNode = src.node == ep.node
 	reqLat := cond.Latency
-	if sameNode {
+	o.lat = cond.Latency
+	if o.sameNode {
 		reqLat = cond.LoopbackLatency
+		o.lat = cond.LoopbackLatency
 	}
-	eng.After(reqLat, func() {
-		if verdict == VerdictDrop || ep.c.NodeDown(src.node) {
-			// Request lost, or the source crashed before it arrived.
-			ep.c.traceFault("drop", ep.node, src.node, size)
-			return
-		}
-		// Request processed at the source endpoint.
-		reqDone := src.gapRx.Schedule(eng.Now(), src.rxOccupancy())
-		injStart := src.gapTx.Schedule(reqDone, src.txOccupancy(size))
-		eng.After(injStart-eng.Now(), func() {
-			var flow *FlowOp
-			var lat sim.Duration
-			if sameNode {
-				flow = ep.c.Net.Start(size, cond.LoopbackBW,
-					src.conn, ep.c.egress[src.node], ep.c.ingress[src.node])
-				lat = cond.LoopbackLatency
-			} else {
-				flow = ep.c.Net.Start(size, cond.ConnBW,
-					src.conn, ep.c.egress[src.node], ep.c.ingress[ep.node])
-				lat = cond.Latency
-			}
-			if verdict == VerdictDelay {
-				lat += extra
-			}
-			flow.OnComplete(func() {
-				deliveries := 1
-				switch verdict {
-				case VerdictDuplicate:
-					deliveries = 2
-					ep.c.traceFault("dup", src.node, ep.node, size)
-				case VerdictDelay:
-					ep.c.traceFault("delay", src.node, ep.node, size)
-				}
-				for i := 0; i < deliveries; i++ {
-					eng.After(lat, func() {
-						if ep.c.NodeDown(ep.node) {
-							// Requester crashed while the payload was in flight.
-							ep.c.traceFault("drop", src.node, ep.node, size)
-							return
-						}
-						rxDone := ep.gapRx.Schedule(eng.Now(), ep.rxOccupancy())
-						eng.After(rxDone-eng.Now(), func() {
-							if apply != nil {
-								apply()
-							}
-							eng.TraceInstant("fabric", "deliver", cond.Name, size, 0)
-							op.Local.Fire() // a get has a single completion
-							op.Remote.Fire()
-						})
-					})
-				}
-			})
-		})
-	})
-	return op
+	if o.verdict == VerdictDelay {
+		o.lat += extra
+	}
+	o.stage = gReq
+	ep.c.Eng.AfterAction(reqLat, o)
+	return &o.op
 }
 
-// Get is the blocking form of GetAsync.
+// Get is the blocking form of GetAsync. The operation record is released
+// internally, so the blocking path is fully pooled.
 func (ep *Endpoint) Get(p *sim.Proc, src *Endpoint, size int64, apply func()) {
-	ep.GetAsync(p, src, size, apply).WaitRemote(p)
+	op := ep.GetAsync(p, src, size, apply)
+	op.WaitRemote(p)
+	op.Release()
 }
 
 // RTT performs a control-message round trip from ep to dst (e.g. a lock

@@ -84,6 +84,10 @@ type Net struct {
 	// engine's tracer: only sinks that opt in via trace.UtilObserver pay
 	// for the extra events, and the untraced hot path stays a bool check.
 	util bool
+
+	pool  sim.FreeList[FlowOp]  // recycled flows (Transfer / StartAction)
+	ticks sim.FreeList[netTick] // recycled settling callbacks
+	fin   []*FlowOp             // reschedule's completion scratch
 }
 
 // NewNet creates a flow engine bound to e.
@@ -97,16 +101,39 @@ func (n *Net) Engine() *sim.Engine { return n.eng }
 // Active reports the number of in-flight flows.
 func (n *Net) Active() int { return len(n.flows) }
 
+// maxFlowLinks bounds the links one flow may cross. The deepest modeled
+// path is connection + egress NIC + ingress NIC; the inline array keeps
+// a flow's link set out of the allocator.
+const maxFlowLinks = 3
+
 // FlowOp is an in-flight transfer. Wait on Done (a sim.Event) or use
 // Wait; OnComplete callbacks run in engine context when the flow drains.
+//
+// Flows created by Start are handles the caller may retain and poll
+// after completion. Flows created by StartAction or Transfer are pooled:
+// they return to the Net's free list the moment they drain, so no
+// reference to them may escape.
 type FlowOp struct {
 	size      int64
 	remaining float64
 	cap       float64 // per-flow rate cap; <= 0 means uncapped
-	links     []*Link
+	linksBuf  [maxFlowLinks]*Link
+	nlinks    int
 	rate      float64
 	done      sim.Event
+	act       sim.Action // pooled completion callback, run before onDone
 	onDone    []func()
+	pooled    bool
+}
+
+// links is the flow's live link set, a view over the inline array.
+func (f *FlowOp) links() []*Link { return f.linksBuf[:f.nlinks] }
+
+func (f *FlowOp) setLinks(links []*Link) {
+	if len(links) > maxFlowLinks {
+		panic("fabric: flow crosses more than maxFlowLinks links")
+	}
+	f.nlinks = copy(f.linksBuf[:], links)
 }
 
 // Done reports whether the transfer has drained.
@@ -130,15 +157,48 @@ func (f *FlowOp) Size() int64 { return f.size }
 
 // Start launches a transfer of size bytes across the given links, with an
 // optional per-flow rate cap (bytes/second; <= 0 for uncapped). A zero or
-// negative size completes immediately.
+// negative size completes immediately. The returned handle may be
+// retained and polled after completion, so Start flows are not pooled;
+// allocation-free paths use StartAction or Transfer.
 func (n *Net) Start(size int64, cap float64, links ...*Link) *FlowOp {
-	f := &FlowOp{size: size, remaining: float64(size), cap: cap, links: links}
+	f := &FlowOp{size: size, remaining: float64(size), cap: cap} //upcvet:poolalloc -- caller-retained handle, pollable after completion; left to the GC by the Start contract
+	f.setLinks(links)
 	if size <= 0 {
-		f.finish()
+		n.finishFlow(f)
 		return f
 	}
+	n.launch(f)
+	return f
+}
+
+// StartAction launches a pooled transfer whose completion runs act in
+// engine context. The flow returns to the free list the moment it
+// drains: no handle escapes, and a warm Net starts and completes the
+// flow without touching the allocator. A zero or negative size runs act
+// immediately.
+func (n *Net) StartAction(size int64, cap float64, act sim.Action, links ...*Link) {
+	if size <= 0 {
+		if act != nil {
+			act.Run()
+		}
+		return
+	}
+	f := n.pool.Get()
+	f.size = size
+	f.remaining = float64(size)
+	f.cap = cap
+	f.act = act
+	f.pooled = true
+	f.setLinks(links)
+	n.launch(f)
+}
+
+// launch registers a prepared flow and settles rates. size must be
+// positive: the flow cannot complete inside launch, only from a later
+// settling callback.
+func (n *Net) launch(f *FlowOp) {
 	n.account()
-	for _, l := range links {
+	for _, l := range f.links() {
 		l.active++
 		if n.util {
 			n.eng.TraceInstant(trace.CatLink, l.Name, "", int64(l.active), l.capacityArg())
@@ -146,7 +206,12 @@ func (n *Net) Start(size int64, cap float64, links ...*Link) *FlowOp {
 	}
 	n.flows = append(n.flows, f)
 	n.reschedule()
-	return f
+}
+
+// PoolStats reports the free-list accounting for the net's pooled flows
+// and settling callbacks.
+func (n *Net) PoolStats() sim.PoolStats {
+	return n.pool.Stats().Add(n.ticks.Stats())
 }
 
 // capacityArg reports the link capacity rounded to int64 for occupancy
@@ -158,9 +223,23 @@ func (l *Link) capacityArg() int64 {
 	return int64(l.Capacity)
 }
 
-// Transfer is the blocking form of Start.
+// Transfer is the blocking form of Start. The flow record is pooled: the
+// completion wake dequeues the waiter before the record is recycled, so
+// the caller never observes the reuse.
 func (n *Net) Transfer(p *sim.Proc, size int64, cap float64, links ...*Link) {
-	n.Start(size, cap, links...).Wait(p)
+	if size <= 0 {
+		return
+	}
+	f := n.pool.Get()
+	f.size = size
+	f.remaining = float64(size)
+	f.cap = cap
+	f.pooled = true
+	f.setLinks(links)
+	n.launch(f)
+	// launch cannot complete a positive-size flow inline, so the wait is
+	// always armed before the completion fires.
+	f.Wait(p)
 }
 
 // Nudge re-settles all in-flight flows after an external change to link
@@ -173,12 +252,30 @@ func (n *Net) Nudge() {
 	n.reschedule()
 }
 
-func (f *FlowOp) finish() {
+// finishFlow completes f: fire the event (waking blocked Transfers),
+// run the pooled completion action, then any OnComplete closures, and
+// recycle pooled records. By the time the record returns to the free
+// list every waiter has been dequeued by the Fire, so reuse cannot
+// disturb them.
+func (n *Net) finishFlow(f *FlowOp) {
 	f.done.Fire()
+	if a := f.act; a != nil {
+		f.act = nil
+		a.Run()
+	}
 	for _, fn := range f.onDone {
 		fn()
 	}
 	f.onDone = nil
+	if f.pooled {
+		for i := range f.linksBuf {
+			f.linksBuf[i] = nil
+		}
+		f.nlinks = 0
+		f.pooled = false
+		f.done.Reset()
+		n.pool.Put(f)
+	}
 }
 
 // account charges elapsed progress to all flows at their current rates.
@@ -200,7 +297,7 @@ func (n *Net) recomputeRates() {
 		if f.cap > 0 {
 			r = f.cap
 		}
-		for _, l := range f.links {
+		for _, l := range f.links() {
 			if s := l.share(); s < r {
 				r = s
 			}
@@ -220,12 +317,18 @@ func (n *Net) recomputeRates() {
 // each flow's own duration.
 func (n *Net) reschedule() {
 	const eps = 1e-6 // bytes
+	// Detach the completion scratch while it is in use: a completion
+	// callback that starts a new flow re-enters reschedule, which must
+	// not walk the same backing array. The nested call sees nil and
+	// builds its own (cold path); the hot path reuses one buffer.
+	finished := n.fin
+	n.fin = nil
 	for {
 		kept := n.flows[:0]
-		var finished []*FlowOp
+		finished = finished[:0]
 		for _, f := range n.flows {
 			if f.remaining <= eps {
-				for _, l := range f.links {
+				for _, l := range f.links() {
 					l.active--
 					if n.util {
 						n.eng.TraceInstant(trace.CatLink, l.Name, "", int64(l.active), l.capacityArg())
@@ -241,13 +344,17 @@ func (n *Net) reschedule() {
 		}
 		n.flows = kept
 		for _, f := range finished {
-			f.finish()
+			n.finishFlow(f)
 		}
 		if len(finished) == 0 {
 			break
 		}
 		// Completion callbacks may have started new flows; loop to settle.
 	}
+	for i := range finished {
+		finished[i] = nil
+	}
+	n.fin = finished[:0]
 	n.recomputeRates()
 	n.epoch++
 	if len(n.flows) == 0 {
@@ -276,12 +383,26 @@ func (n *Net) reschedule() {
 	if dt < 1 {
 		dt = 1
 	}
-	epoch := n.epoch
-	n.eng.After(dt, func() {
-		if n.epoch != epoch {
-			return
-		}
-		n.account()
-		n.reschedule()
-	})
+	t := n.ticks.Get()
+	t.n = n
+	t.epoch = n.epoch
+	n.eng.AfterAction(dt, t)
+}
+
+// netTick is the pooled settling callback: one is booked per reschedule,
+// and a stale epoch means a fresher one has been booked since.
+type netTick struct {
+	n     *Net
+	epoch uint64
+}
+
+func (t *netTick) Run() {
+	n, epoch := t.n, t.epoch
+	t.n = nil
+	n.ticks.Put(t)
+	if n.epoch != epoch {
+		return
+	}
+	n.account()
+	n.reschedule()
 }

@@ -101,6 +101,13 @@ type ShardPort struct {
 	nextReq  uint64
 	calls    map[int64]pendingCall // outstanding RPCs by caller key
 	replies  map[int64]rpcEntry    // reply cache by caller key (src lane, caller id)
+
+	// putOps recycles this lane's put records (source side); rxOps
+	// recycles the receive-drain continuations scheduled on this lane as
+	// a delivery target. Each pool is only touched from its own lane's
+	// context, ordered across lanes by the group's round barrier.
+	putOps sim.FreeList[shardPutOp]
+	rxOps  sim.FreeList[shardRxOp]
 }
 
 // Lane reports the port's lane index.
@@ -161,32 +168,99 @@ func (pt *ShardPort) PutReliable(p *sim.Proc, dst int, size int64, apply func())
 
 func (pt *ShardPort) put(p *sim.Proc, dst int, size int64, reliable bool, apply func()) {
 	g := pt.net.Group
-	cond := &pt.net.Cond
 	pt.inject(p, size)
 	pt.tracePut(p, "shard-put", dst, size)
-	done := &sim.Event{}
-	src := pt.lane
-	deliver := func() {
-		dp := pt.net.ports[dst]
-		rxDone := dp.gapRx.Schedule(dp.eng.Now(), cond.RecvOverhead)
-		dp.eng.After(rxDone-dp.eng.Now(), func() {
-			if apply != nil {
-				apply()
-			}
-			// The ack retraces the wire; it carries no payload.
-			send := g.Send
-			if reliable {
-				send = g.SendReliable
-			}
-			send(dp.eng, src, pt.net.wireDelay(0), 0, func() { done.Fire() })
-		})
-	}
-	if reliable {
-		g.SendReliable(pt.eng, dst, pt.net.wireDelay(size), size, deliver)
+	// Recycling assumes exactly one ack wakes the caller. The reliable
+	// plane is exempt from fault filters, and without a filter installed
+	// unreliable sends are exactly-once too; only a filtered unreliable
+	// put can duplicate the payload, leaving a second rx/ack chain
+	// referencing the record after the caller resumed — those records
+	// fall back to garbage collection, the pre-pooling behavior.
+	pooled := reliable || !g.Filtered()
+	var o *shardPutOp
+	if pooled {
+		o = pt.putOps.Get()
 	} else {
-		g.Send(pt.eng, dst, pt.net.wireDelay(size), size, deliver)
+		o = &shardPutOp{} //upcvet:poolalloc -- filtered unreliable puts can be duplicated; a recycled record could still be referenced by the duplicate's rx/ack chain
 	}
-	done.Wait(p)
+	o.pt = pt
+	o.dst = dst
+	o.reliable = reliable
+	o.apply = apply
+	o.ack.o = o
+	if reliable {
+		g.SendReliableAction(pt.eng, dst, pt.net.wireDelay(size), size, o)
+	} else {
+		g.SendAction(pt.eng, dst, pt.net.wireDelay(size), size, o)
+	}
+	o.done.Wait(p)
+	if pooled {
+		o.pt = nil
+		o.apply = nil
+		o.done.Reset()
+		pt.putOps.Put(o)
+	}
+}
+
+// shardPutOp is the pooled record of one blocking shard put: the
+// payload-arrival action (Run, destination lane context), the caller's
+// completion event and the ack action are facets of one object, so a
+// warm put round trip schedules no per-operation garbage.
+type shardPutOp struct {
+	pt       *ShardPort // source port
+	dst      int
+	reliable bool
+	apply    func()
+	done     sim.Event
+	ack      shardAck
+}
+
+// Run is the payload arrival at the destination lane: enter the
+// receiver's gap server and book the receive-drain continuation there.
+func (o *shardPutOp) Run() {
+	dp := o.pt.net.ports[o.dst]
+	rx := dp.rxOps.Get()
+	rx.o = o
+	rxDone := dp.gapRx.Schedule(dp.eng.Now(), o.pt.net.Cond.RecvOverhead)
+	dp.eng.AfterAction(rxDone-dp.eng.Now(), rx)
+}
+
+// shardRxOp is the receive-drain continuation, pooled on the
+// destination port. A duplicated payload stages two independent rx
+// records, so chaos schedules stay on the pooled path for this leg.
+type shardRxOp struct{ o *shardPutOp }
+
+func (r *shardRxOp) Run() {
+	o := r.o
+	dp := o.pt.net.ports[o.dst]
+	r.o = nil
+	dp.rxOps.Put(r)
+	if o.apply != nil {
+		o.apply()
+	}
+	// The ack retraces the wire; it carries no payload.
+	g := o.pt.net.Group
+	if o.reliable {
+		g.SendReliableAction(dp.eng, o.pt.lane, o.pt.net.wireDelay(0), 0, &o.ack)
+	} else {
+		g.SendAction(dp.eng, o.pt.lane, o.pt.net.wireDelay(0), 0, &o.ack)
+	}
+}
+
+// shardAck completes the put at the source lane. Fire is idempotent, so
+// a duplicated ack — possible only on an unpooled record — is harmless.
+type shardAck struct{ o *shardPutOp }
+
+func (a *shardAck) Run() { a.o.done.Fire() }
+
+// PoolStats sums the per-port put and receive-drain pools. At
+// quiescence of a fault-free run, Outstanding() is zero.
+func (n *ShardNet) PoolStats() sim.PoolStats {
+	var s sim.PoolStats
+	for _, pt := range n.ports {
+		s = s.Add(pt.putOps.Stats()).Add(pt.rxOps.Stats())
+	}
+	return s
 }
 
 // Post ships a one-way control message to lane dst: apply runs there
@@ -250,7 +324,7 @@ func (pt *ShardPort) call(p *sim.Proc, caller, dst, op int, arg, reqSize int64, 
 	pt.nextReq++
 	id := pt.nextReq
 	key := callerKey(src, caller)
-	done := &sim.Event{}
+	done := &sim.Event{} //upcvet:poolalloc -- cold RPC request path, not the one-sided fast path
 	if pt.calls == nil {
 		pt.calls = map[int64]pendingCall{}
 	}

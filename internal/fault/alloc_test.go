@@ -18,10 +18,9 @@ import (
 )
 
 // fabricPutAllocs pins allocs/op of the untraced fault-free cross-node
-// blocking put: the NetOp, its local/remote completion events, and the
-// timer closures they book. The disabled fault hook is a nil check and
-// contributes none of them.
-const fabricPutAllocs = 11
+// blocking put at zero: operation records, flows and delivery legs all
+// come from free lists, and the disabled fault hook is a nil check.
+const fabricPutAllocs = 0
 
 // putLoop is simbench.FabricPut with an optional schedule installed.
 func putLoop(b *testing.B, sched *fault.Schedule) {
@@ -57,8 +56,8 @@ func TestHotPathAllocationsPinned(t *testing.T) {
 		{"Advance", simbench.Advance, 0},
 		{"ServerDelay", simbench.ServerDelay, 0},
 		{"PingPongYield", simbench.PingPongYield, 0},
-		// The cross-node put pays for its NetOp and completion events;
-		// the disabled fault hook must add nothing on top.
+		// The pooled cross-node put is allocation-free; the disabled
+		// fault hook must add nothing on top.
 		{"FabricPut", simbench.FabricPut, fabricPutAllocs},
 	} {
 		r := testing.Benchmark(tc.fn)

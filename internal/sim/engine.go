@@ -135,9 +135,31 @@ func (e *Engine) After(d Duration, fn func()) {
 	e.schedule(e.now+d, nil, fn)
 }
 
+// Action is a pre-allocated event callback: hot paths implement Run on a
+// pooled operation struct and book it with AfterAction, so completion
+// work is scheduled without building a closure per event. Run executes in
+// engine context under the same rules as an After callback (must not
+// park). An Action may release itself back to its free list inside Run —
+// the engine holds no reference after the call.
+type Action interface{ Run() }
+
+// AfterAction runs a.Run in engine context after d elapses; the
+// allocation-free equivalent of After.
+func (e *Engine) AfterAction(d Duration, a Action) {
+	if d < 0 {
+		d = 0
+	}
+	e.scheduleAction(e.now+d, a)
+}
+
 func (e *Engine) schedule(at Time, p *Proc, fn func()) {
 	e.seq++
 	e.events.push(event{at: at, seq: e.seq, proc: p, fn: fn})
+}
+
+func (e *Engine) scheduleAction(at Time, a Action) {
+	e.seq++
+	e.events.push(event{at: at, seq: e.seq, act: a})
 }
 
 // unpark schedules a wake for a parked process at the current time. It is
@@ -277,6 +299,10 @@ func (e *Engine) handoff(parker *Proc) {
 		}
 		if ev.fn != nil {
 			ev.fn()
+			continue
+		}
+		if ev.act != nil {
+			ev.act.Run()
 			continue
 		}
 		p := ev.proc

@@ -1,14 +1,17 @@
 package sim
 
 // event is an entry in the engine's pending-event heap. Exactly one of
-// proc and fn is set: proc events resume a parked process; fn events run a
-// callback inline in engine context (used by resources such as
-// processor-sharing links that must reshuffle state at completion times).
+// proc, fn and act is set: proc events resume a parked process; fn events
+// run a callback inline in engine context (used by resources such as
+// processor-sharing links that must reshuffle state at completion times);
+// act events are the allocation-free flavor of fn — a pre-built object
+// from a free list instead of a closure built at the call site.
 type event struct {
 	at   Time
 	seq  uint64 // tie-breaker: FIFO among simultaneous events
 	proc *Proc
 	fn   func()
+	act  Action
 }
 
 // before orders events by time, then FIFO by sequence number.

@@ -64,14 +64,17 @@ type SharedLink struct {
 	capacity float64 // bytes per second
 	served   float64 // per-flow bytes delivered since the link went busy
 	flows    flowHeap
-	last     Time   // time of the last work-accounting update
-	epoch    uint64 // invalidates stale completion callbacks
+	last     Time               // time of the last work-accounting update
+	epoch    uint64             // invalidates stale completion callbacks
+	pool     FreeList[flow]     // recycled flow records (Transfer path)
+	ticks    FreeList[linkTick] // recycled completion callbacks
 }
 
 type flow struct {
 	end      float64 // served value at which this flow completes
 	done     WaitQueue
 	finished bool
+	handle   bool // escaped via a Flow handle: stays off the free list
 }
 
 // flowHeap is a min-heap of active flows ordered by completion point.
@@ -142,12 +145,23 @@ func (l *SharedLink) Transfer(p *Proc, size int64) {
 }
 
 // StartTransfer begins a flow without suspending the caller and returns a
-// completion handle. Wait on it from any process.
+// completion handle. Wait on it from any process. A handle may be polled
+// long after completion, so handle-carrying flows are exempt from the
+// free list and left to the garbage collector.
 func (l *SharedLink) StartTransfer(size int64) *Flow {
 	if size <= 0 || l.capacity <= 0 {
-		return &Flow{f: &flow{finished: true}}
+		return &Flow{f: &flow{finished: true}} //upcvet:poolalloc -- degenerate zero-size flow; the handle is pollable after return, so it is exempt like StartTransfer
 	}
-	return &Flow{f: l.start(size), l: l}
+	f := l.start(size)
+	f.handle = true
+	return &Flow{f: f, l: l}
+}
+
+// PoolStats reports the combined free-list accounting for the link's
+// flow records and completion callbacks. At quiescence with no
+// outstanding Flow handles, Outstanding() must be zero.
+func (l *SharedLink) PoolStats() PoolStats {
+	return l.pool.Stats().Add(l.ticks.Stats())
 }
 
 // Flow is a handle to an in-flight SharedLink transfer.
@@ -168,7 +182,10 @@ func (fl *Flow) Wait(p *Proc) {
 
 func (l *SharedLink) start(size int64) *flow {
 	l.account()
-	f := &flow{end: l.served + float64(size)}
+	f := l.pool.Get()
+	f.end = l.served + float64(size)
+	f.finished = false
+	f.handle = false
 	l.flows.push(f)
 	l.reschedule()
 	return f
@@ -186,13 +203,19 @@ func (l *SharedLink) account() {
 }
 
 // reschedule completes any drained flows and books the next completion
-// callback for the earliest remaining one.
+// callback for the earliest remaining one. Completed flows return to the
+// link's free list: WakeAll has already dequeued every waiter, and the
+// WaitQueue ring is retained across reuse so a warm link never touches
+// the allocator.
 func (l *SharedLink) reschedule() {
 	const eps = 1e-6 // bytes; absorbs float rounding
 	for len(l.flows) > 0 && l.flows[0].end-l.served <= eps {
 		f := l.flows.pop()
 		f.finished = true
 		f.done.WakeAll()
+		if !f.handle {
+			l.pool.Put(f)
+		}
 	}
 	l.epoch++
 	if len(l.flows) == 0 {
@@ -206,12 +229,28 @@ func (l *SharedLink) reschedule() {
 	if dt < 1 {
 		dt = 1 // guarantee forward progress despite rounding
 	}
-	epoch := l.epoch
-	l.eng.After(dt, func() {
-		if l.epoch != epoch {
-			return // the flow set changed; a fresher callback is booked
-		}
-		l.account()
-		l.reschedule()
-	})
+	t := l.ticks.Get()
+	t.l = l
+	t.epoch = l.epoch
+	l.eng.AfterAction(dt, t)
+}
+
+// linkTick is the pooled completion callback for a SharedLink: one is
+// booked per reschedule, and a stale epoch means a fresher one has been
+// booked since. A tick releases itself before re-entering the link so
+// the nested reschedule can reuse it immediately.
+type linkTick struct {
+	l     *SharedLink
+	epoch uint64
+}
+
+func (t *linkTick) Run() {
+	l, epoch := t.l, t.epoch
+	t.l = nil
+	l.ticks.Put(t)
+	if l.epoch != epoch {
+		return // the flow set changed; a fresher callback is booked
+	}
+	l.account()
+	l.reschedule()
 }

@@ -27,7 +27,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -98,7 +98,8 @@ const (
 // extra is the added latency for MsgDelay verdicts.
 type MessageFilter func(src, dst int, at Time, size int64, rng *rand.Rand) (v MessageVerdict, extra Duration)
 
-// shardMsg is one staged cross-lane message.
+// shardMsg is one staged cross-lane message. Exactly one of fn and act
+// is set; act is the allocation-free flavor used by pooled transports.
 type shardMsg struct {
 	at      Time
 	src     int
@@ -108,6 +109,7 @@ type shardMsg struct {
 	verdict MessageVerdict
 	extra   Duration // MsgDelay only
 	fn      func()
+	act     Action
 }
 
 // ShardGroup drives a set of lane engines through conservative LBTS
@@ -133,6 +135,13 @@ type ShardGroup struct {
 	runnable []*Engine  // per-round lane work list
 	streams  [][]trace.Event
 
+	// arrPool[d] recycles the arrival records scheduled on lane d: Get
+	// runs in group context at the delivery barrier, Put in lane d's own
+	// context when the arrival executes, and the round WaitGroup orders
+	// the two — so each pool is only ever touched by one goroutine at a
+	// time.
+	arrPool []FreeList[arrival]
+
 	rounds int64
 	sent   int64
 	ran    bool
@@ -154,6 +163,7 @@ func NewShardGroup(seed int64, lanes int, sink trace.Tracer) *ShardGroup {
 		outbox:  make([][]shardMsg, lanes),
 		seqs:    make([]uint64, lanes),
 		downAt:  make([]Time, lanes),
+		arrPool: make([]FreeList[arrival], lanes),
 	}
 	if n := ShardWorkers(); n > 1 {
 		g.workers = n
@@ -222,6 +232,12 @@ func (g *ShardGroup) SetWorkers(n int) {
 // unreliable cross-lane send. Call before Run.
 func (g *ShardGroup) SetMessageFilter(f MessageFilter) { g.filter = f }
 
+// Filtered reports whether a message filter (fault injection) is
+// installed. Pooled transports consult it: an unreliable message can be
+// duplicated by the filter, so exactly-once recycling assumptions only
+// hold when it is absent.
+func (g *ShardGroup) Filtered() bool { return g.filter != nil }
+
 // SetLookahead declares a directed cross-lane link with the given
 // latency lower bound, clamped to LookaheadFloor. Every Send from src
 // to dst must carry at least this much delay; sends over undeclared
@@ -276,7 +292,7 @@ func (g *ShardGroup) LaneDown(i int, t Time) bool { return t >= g.downAt[i] }
 // arrival time is deterministic: sorted by source lane, then by send
 // order within the source lane.
 func (g *ShardGroup) Send(src *Engine, dst int, delay Duration, size int64, fn func()) {
-	g.send(src, dst, delay, size, false, fn)
+	g.send(src, dst, delay, size, false, fn, nil)
 }
 
 // SendReliable is Send exempt from the fault filter (crashed
@@ -284,10 +300,28 @@ func (g *ShardGroup) Send(src *Engine, dst int, delay Duration, size int64, fn f
 // the self-healing reliable transport — barrier arrivals, termination
 // reports — whose loss the application protocols do not model.
 func (g *ShardGroup) SendReliable(src *Engine, dst int, delay Duration, size int64, fn func()) {
-	g.send(src, dst, delay, size, true, fn)
+	g.send(src, dst, delay, size, true, fn, nil)
 }
 
-func (g *ShardGroup) send(src *Engine, dst int, delay Duration, size int64, reliable bool, fn func()) {
+// SendAction is Send with a pooled Action payload instead of a closure:
+// a.Run executes in dst's engine context at delivery time. Combined with
+// the pooled arrival records at the delivery barrier, a SendAction moves
+// a message across lanes without touching the allocator. Note that fault
+// injection may duplicate unreliable messages, in which case a.Run
+// executes once per delivery — actions on unreliable sends must tolerate
+// re-entry (the pooled transports in internal/fabric use idempotent
+// stages or per-delivery continuation records).
+func (g *ShardGroup) SendAction(src *Engine, dst int, delay Duration, size int64, a Action) {
+	g.send(src, dst, delay, size, false, nil, a)
+}
+
+// SendReliableAction is SendAction exempt from the fault filter, like
+// SendReliable.
+func (g *ShardGroup) SendReliableAction(src *Engine, dst int, delay Duration, size int64, a Action) {
+	g.send(src, dst, delay, size, true, nil, a)
+}
+
+func (g *ShardGroup) send(src *Engine, dst int, delay Duration, size int64, reliable bool, fn func(), act Action) {
 	s := src.lane
 	if src.group != g {
 		panic("sim: Send from an engine outside this ShardGroup")
@@ -306,7 +340,7 @@ func (g *ShardGroup) send(src *Engine, dst int, delay Duration, size int64, reli
 		panic(fmt.Sprintf("sim: Send %d -> %d with delay %v below lookahead %v (conservative window violated)",
 			s, dst, delay, la))
 	}
-	m := shardMsg{at: src.now + delay, src: s, dst: dst, size: size, fn: fn}
+	m := shardMsg{at: src.now + delay, src: s, dst: dst, size: size, fn: fn, act: act}
 	if g.filter != nil && !reliable {
 		m.verdict, m.extra = g.filter(s, dst, src.now, size, src.rng)
 		if m.verdict == MsgDelay {
@@ -386,45 +420,46 @@ func (g *ShardGroup) deliver() {
 		return
 	}
 	g.sent += int64(len(all))
-	sort.Slice(all, func(i, j int) bool {
-		a, b := &all[i], &all[j]
+	// slices.SortFunc rather than sort.Slice: the generic sort neither
+	// boxes the slice nor builds a reflect swapper, keeping the delivery
+	// barrier allocation-free. The key (at, src, seq) is a total order —
+	// seq is unique per source lane — so the unstable sort is still
+	// deterministic.
+	slices.SortFunc(all, func(a, b shardMsg) int {
 		if a.at != b.at {
-			return a.at < b.at
+			if a.at < b.at {
+				return -1
+			}
+			return 1
 		}
 		if a.src != b.src {
-			return a.src < b.src
+			return a.src - b.src
 		}
-		return a.seq < b.seq
+		if a.seq != b.seq {
+			if a.seq < b.seq {
+				return -1
+			}
+			return 1
+		}
+		return 0
 	})
 	for i := range all {
 		m := all[i]
-		dst := g.lanes[m.dst]
 		// The down-check runs at execution time in the destination lane,
 		// not here: a crash event inside the upcoming window may precede
 		// the arrival, and downAt[dst] is only written from lane dst's own
-		// context, so the read is race-free there.
-		arrive := func(aux string) func() {
-			return func() {
-				if g.LaneDown(m.dst, dst.now) {
-					dst.traceShardFault("down-drop", m.src, m.dst, m.size)
-					return
-				}
-				if aux != "" {
-					dst.traceShardFault(aux, m.src, m.dst, m.size)
-				}
-				m.fn()
-			}
-		}
+		// context, so the read is race-free there. Each scheduled delivery
+		// gets its own pooled arrival record (a duplicate gets two), so a
+		// record is consumed exactly once and returns to the pool when it
+		// runs.
 		switch m.verdict {
-		case MsgDrop:
-			dst.schedule(m.at, nil, func() { dst.traceShardFault("drop", m.src, m.dst, m.size) })
 		case MsgDuplicate:
-			dst.schedule(m.at, nil, arrive("duplicate"))
-			dst.schedule(m.at, nil, arrive(""))
+			g.stageArrival(m, "duplicate")
+			g.stageArrival(m, "")
 		case MsgDelay:
-			dst.schedule(m.at, nil, arrive("delay"))
-		default:
-			dst.schedule(m.at, nil, arrive(""))
+			g.stageArrival(m, "delay")
+		default: // MsgDeliver and MsgDrop
+			g.stageArrival(m, "")
 		}
 	}
 	// Clear retained closures before reuse.
@@ -432,6 +467,62 @@ func (g *ShardGroup) deliver() {
 		all[i] = shardMsg{}
 	}
 	g.scratch = all[:0]
+}
+
+// stageArrival schedules one delivery of m on its destination lane via a
+// pooled arrival record. Runs in group context at the delivery barrier.
+func (g *ShardGroup) stageArrival(m shardMsg, aux string) {
+	a := g.arrPool[m.dst].Get()
+	a.g = g
+	a.m = m
+	a.aux = aux
+	g.lanes[m.dst].scheduleAction(m.at, a)
+}
+
+// arrival is the pooled execution record for one cross-lane delivery.
+// Run executes in the destination lane's context; it releases itself
+// back to that lane's pool before invoking the payload so a delivery
+// chain reuses a single record.
+type arrival struct {
+	g   *ShardGroup
+	m   shardMsg
+	aux string
+}
+
+func (a *arrival) Run() {
+	g, m, aux := a.g, a.m, a.aux
+	dst := g.lanes[m.dst]
+	a.g = nil
+	a.m = shardMsg{}
+	a.aux = ""
+	g.arrPool[m.dst].Put(a)
+	if m.verdict == MsgDrop {
+		dst.traceShardFault("drop", m.src, m.dst, m.size)
+		return
+	}
+	if g.LaneDown(m.dst, dst.now) {
+		dst.traceShardFault("down-drop", m.src, m.dst, m.size)
+		return
+	}
+	if aux != "" {
+		dst.traceShardFault(aux, m.src, m.dst, m.size)
+	}
+	if m.act != nil {
+		m.act.Run()
+		return
+	}
+	m.fn()
+}
+
+// ArrivalPoolStats sums the free-list accounting of every lane's arrival
+// pool. At quiescence Outstanding() must be zero: each staged delivery
+// consumed exactly one record and returned it.
+func (g *ShardGroup) ArrivalPoolStats() PoolStats {
+	var s PoolStats
+	for i := range g.arrPool {
+		s = s.Add(g.arrPool[i].Stats())
+	}
+	return s
 }
 
 // traceShardFault records one fault-injection outcome on a cross-lane
@@ -468,6 +559,15 @@ func (g *ShardGroup) round(limit Time) {
 		}
 		return
 	}
+	g.roundParallel(run, w, limit)
+}
+
+// roundParallel is the multi-worker window body, split out of round so
+// the worker closures capture this call's parameters instead of round's
+// locals — otherwise escape analysis heap-allocates round's work list on
+// every call, including single-worker rounds that never spawn a
+// goroutine.
+func (g *ShardGroup) roundParallel(run []*Engine, w int, limit Time) {
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(w)

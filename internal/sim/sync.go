@@ -161,6 +161,18 @@ func (ev *Event) Fire() {
 // Fired reports whether the event has completed.
 func (ev *Event) Fired() bool { return ev.fired }
 
+// Reset re-arms a fired event so object pools can recycle the structure
+// it is embedded in, keeping the wait-queue ring allocation across
+// reuses. The caller must guarantee the previous operation fully
+// completed: resetting with processes still parked is a pooling bug and
+// panics.
+func (ev *Event) Reset() {
+	if ev.q.Len() != 0 {
+		panic("sim: Event.Reset with parked waiters")
+	}
+	ev.fired = false
+}
+
 // Wait suspends p until the event fires. Returns immediately if already
 // fired.
 func (ev *Event) Wait(p *Proc) {

@@ -30,10 +30,11 @@ func ShardPut(b *testing.B) {
 	g := sim.NewShardGroup(1, 2, trace.Default())
 	net := fabric.NewShardNet(g, fabric.QDRInfiniBand())
 	sink := 0
+	apply := func() { sink++ } // hoisted: a per-iteration closure is a per-op alloc
 	g.Lane(0).Go("putter", func(p *sim.Proc) {
 		pt := net.Port(0)
 		for n := 0; n < b.N; n++ {
-			pt.Put(p, 1, 8, func() { sink++ })
+			pt.Put(p, 1, 8, apply)
 		}
 	})
 	b.ResetTimer()

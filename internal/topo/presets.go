@@ -1,5 +1,7 @@
 package topo
 
+import "strings"
+
 // Presets model the two clusters hosted at the GWU High Performance
 // Computing Laboratory that the thesis evaluates on (Table 2.1). The rate
 // calibrations are derived from the paper's own measurements: STREAM triad
@@ -48,15 +50,46 @@ func Lehman() *Machine {
 	}
 }
 
-// ByName resolves a preset machine model by its lowercase name.
+// DefaultXlateCacheLines is the per-thread translation-cache capacity
+// the "+xcache" preset suffix selects: sized like the runtime-managed
+// lookup structures of the Berkeley implementation (a few hundred
+// block descriptors), small enough that scattered access still misses.
+const DefaultXlateCacheLines = 256
+
+// ByName resolves a preset machine model by its lowercase name. The
+// base name may carry translation-model suffixes, combinable and in any
+// order: "+xcache" enables the per-thread translation cache
+// (DefaultXlateCacheLines entries) and "+xassist" the Serres-style
+// hardware-assisted translation — e.g. "pyramid+xassist",
+// "lehman+xcache".
 func ByName(name string) (*Machine, bool) {
-	switch name {
-	case "pyramid":
-		return Pyramid(), true
-	case "lehman":
-		return Lehman(), true
+	base, rest, suffixed := strings.Cut(name, "+")
+	if suffixed && rest == "" {
+		return nil, false
 	}
-	return nil, false
+	var m *Machine
+	switch base {
+	case "pyramid":
+		m = Pyramid()
+	case "lehman":
+		m = Lehman()
+	default:
+		return nil, false
+	}
+	if rest != "" {
+		for _, suf := range strings.Split(rest, "+") {
+			switch suf {
+			case "xcache":
+				m.XlateCacheLines = DefaultXlateCacheLines
+			case "xassist":
+				m.XlateAssist = true
+			default:
+				return nil, false
+			}
+		}
+		m.Name = name
+	}
+	return m, true
 }
 
 // Presets lists the available machine model names.

@@ -27,6 +27,16 @@ type Machine struct {
 	SMTThroughput float64 // combined throughput of a full SMT core vs one thread (e.g. 1.2)
 	PtrXlate      float64 // seconds per shared-pointer translation (element access)
 
+	// Shared-pointer translation model (see internal/upc): a fine-grained
+	// shared access decodes (thread, block, offset) from the pointer. The
+	// full software decode costs PtrXlate seconds; with a translation
+	// cache, an access whose (array, block) pair is cached re-derives only
+	// the offset; with hardware assist the decode retires in one core
+	// cycle — effectively free at simulation resolution, the Serres-style
+	// hardware-assisted translation regime.
+	XlateAssist     bool // hardware-assisted translation (cost ≈ one cycle)
+	XlateCacheLines int  // per-thread translation-cache entries; 0 = no cache
+
 	// DefaultConduit names the network conduit used unless overridden
 	// (resolved by the fabric package).
 	DefaultConduit string
@@ -61,6 +71,8 @@ func (m *Machine) Validate() error {
 		return fmt.Errorf("topo: %s: NUMAFactor = %g (must be >= 1)", m.Name, m.NUMAFactor)
 	case m.SMTThroughput < 1:
 		return fmt.Errorf("topo: %s: SMTThroughput = %g (must be >= 1)", m.Name, m.SMTThroughput)
+	case m.XlateCacheLines < 0:
+		return fmt.Errorf("topo: %s: XlateCacheLines = %d", m.Name, m.XlateCacheLines)
 	}
 	return nil
 }

@@ -282,3 +282,38 @@ func TestScatterPlaces(t *testing.T) {
 		t.Error("zero scatter must error")
 	}
 }
+
+func TestPresetXlateSuffixes(t *testing.T) {
+	base, _ := ByName("pyramid")
+	if base.XlateAssist || base.XlateCacheLines != 0 {
+		t.Fatalf("bare preset has translation knobs set: %+v", base)
+	}
+	m, ok := ByName("pyramid+xcache")
+	if !ok || m.XlateCacheLines != DefaultXlateCacheLines || m.XlateAssist {
+		t.Fatalf("pyramid+xcache: ok=%v lines=%d assist=%v", ok, m.XlateCacheLines, m.XlateAssist)
+	}
+	if m.Name != "pyramid+xcache" {
+		t.Errorf("suffixed preset name = %q", m.Name)
+	}
+	m, ok = ByName("lehman+xassist")
+	if !ok || !m.XlateAssist || m.XlateCacheLines != 0 {
+		t.Fatalf("lehman+xassist: ok=%v lines=%d assist=%v", ok, m.XlateCacheLines, m.XlateAssist)
+	}
+	m, ok = ByName("lehman+xcache+xassist")
+	if !ok || !m.XlateAssist || m.XlateCacheLines != DefaultXlateCacheLines {
+		t.Fatalf("combined suffixes: ok=%v lines=%d assist=%v", ok, m.XlateCacheLines, m.XlateAssist)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("suffixed machine invalid: %v", err)
+	}
+	for _, bad := range []string{"pyramid+", "pyramid+turbo", "nonesuch+xcache", "+xcache"} {
+		if _, ok := ByName(bad); ok {
+			t.Errorf("ByName(%q) resolved, want miss", bad)
+		}
+	}
+	neg := Lehman()
+	neg.XlateCacheLines = -1
+	if err := neg.Validate(); err == nil {
+		t.Error("negative XlateCacheLines validated")
+	}
+}

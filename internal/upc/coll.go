@@ -29,7 +29,7 @@ func (rt *Runtime) collSlot(seq int) *collSlot {
 		rt.colls[seq] = &collSlot{
 			vals:    make([]any, rt.Cfg.Threads),
 			present: make([]bool, rt.Cfg.Threads),
-			ev:      &sim.Event{},
+			ev:      &sim.Event{}, //upcvet:poolalloc -- one slot per collective phase, amortized over THREADS arrivals
 		}
 	}
 	return rt.colls[seq]

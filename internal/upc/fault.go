@@ -124,17 +124,25 @@ func (t *Thread) reliableWait(opName string, peer int, bytes int64,
 		}
 		t.FaultEvent("timeout", peer, bytes)
 		if t.Failed() || !t.Alive(peer) {
+			op.Release()
 			return nil, t.commError(opName, peer, attempts, fault.ErrNodeDown)
 		}
 		if try >= rp.MaxRetries {
+			op.Release()
 			return nil, t.commError(opName, peer, attempts, fault.ErrTimeout)
 		}
 		t.P.Advance(rp.BackoffFor(try + 1))
 		// The peer may have crashed while we backed off.
 		if t.Failed() || !t.Alive(peer) {
+			op.Release()
 			return nil, t.commError(opName, peer, attempts, fault.ErrNodeDown)
 		}
 		t.FaultEvent("retry", peer, bytes)
+		// Abandon the timed-out op before reissuing: dropping the hold lets
+		// its pooled record recycle once any in-flight legs (a delayed
+		// original, an injected duplicate) drain. Nothing reads it again —
+		// the handle is repointed at the reissue.
+		op.Release()
 		op = reissue()
 		attempts++
 	}
@@ -160,15 +168,19 @@ func (t *Thread) WaitSyncErr(h *Handle) error {
 		return nil
 	}
 	if h.reissue == nil {
-		h.op.WaitRemote(t.P)
+		op := h.op
+		h.op = nil
+		op.WaitRemote(t.P)
+		op.Release()
 		return nil
 	}
 	op, err := t.reliableWait(h.opName, h.peer, h.bytes, h.op, h.reissue)
 	h.reissue = nil
+	h.op = nil // the wait consumed the operation either way; Try reads done
 	if err != nil {
 		return err
 	}
-	h.op = op
+	op.Release()
 	return nil
 }
 
@@ -185,6 +197,7 @@ func (t *Thread) BarrierErr() error {
 	if t.Failed() {
 		return t.commError("barrier", t.ID, 0, fault.ErrNodeDown)
 	}
+	t.flushXlateCounters()
 	end := t.P.TraceSpan("upc", "barrier")
 	defer end()
 	ev := rt.bar.notify(rt, t.ID)
@@ -210,8 +223,17 @@ func (t *Thread) BarrierErr() error {
 // out-of-range accesses) as typed errors. The legacy void forms delegate
 // to them and panic on error, preserving their historical contract.
 
-// PutBytesErr is PutBytes with fault recovery and typed errors.
+// PutBytesErr is PutBytes with fault recovery and typed errors. On a
+// fault-free run the blocking form never materializes a handle or retry
+// context: it rides the pooled fabric record end to end, allocation-free.
 func (t *Thread) PutBytesErr(dst int, bytes int64) error {
+	if !t.retriable(dst) {
+		op := t.putBytes(dst, bytes, nil)
+		op.WaitRemote(t.P)
+		op.Release()
+		t.remoteAck(dst)
+		return nil
+	}
 	h, err := t.putBytesAsyncErr(dst, bytes, nil)
 	if err != nil {
 		return err
@@ -223,9 +245,16 @@ func (t *Thread) PutBytesErr(dst int, bytes int64) error {
 	return nil
 }
 
-// GetBytesErr is GetBytes with fault recovery and typed errors.
+// GetBytesErr is GetBytes with fault recovery and typed errors. Like
+// PutBytesErr, the fault-free blocking form is allocation-free.
 func (t *Thread) GetBytesErr(src int, bytes int64) error {
-	if t.retriable(src) && (t.Failed() || !t.Alive(src)) {
+	if !t.retriable(src) {
+		op := t.getBytes(src, bytes, nil)
+		op.WaitRemote(t.P)
+		op.Release()
+		return nil
+	}
+	if t.Failed() || !t.Alive(src) {
 		return t.commError("get", src, 0, fault.ErrNodeDown)
 	}
 	issue := func() *fabric.NetOp { return t.getBytes(src, bytes, nil) }
@@ -235,9 +264,13 @@ func (t *Thread) GetBytesErr(src int, bytes int64) error {
 }
 
 // putBytesAsyncErr issues a protected put, failing fast when either end
-// is already down.
+// is already down. The async contract hands the caller an owned Handle,
+// so this path allocates exactly that handle on fault-free runs.
 func (t *Thread) putBytesAsyncErr(dst int, bytes int64, apply func()) (*Handle, error) {
-	if t.retriable(dst) && (t.Failed() || !t.Alive(dst)) {
+	if !t.retriable(dst) {
+		return &Handle{op: t.putBytes(dst, bytes, apply)}, nil
+	}
+	if t.Failed() || !t.Alive(dst) {
 		return nil, t.commError("put", dst, 0, fault.ErrNodeDown)
 	}
 	issue := func() *fabric.NetOp { return t.putBytes(dst, bytes, apply) }
@@ -306,7 +339,7 @@ func GetTErr[T any](t *Thread, s *Shared[T], dst []T, owner, off int) error {
 // ReadElemErr is ReadElem with fault recovery and typed errors.
 func ReadElemErr[T any](t *Thread, s *Shared[T], i int) (T, error) {
 	owner, local := s.Owner(i), s.LocalIndex(i)
-	t.ChargeXlate(1)
+	t.xlateAccess(s.id, i/s.block)
 	if t.Castable(owner) {
 		t.MemStreamFrom(int64(s.elemBytes), t.rt.places[owner].Socket)
 		return s.segs[owner][local], nil
@@ -322,7 +355,7 @@ func ReadElemErr[T any](t *Thread, s *Shared[T], i int) (T, error) {
 // WriteElemErr is WriteElem with fault recovery and typed errors.
 func WriteElemErr[T any](t *Thread, s *Shared[T], i int, v T) error {
 	owner, local := s.Owner(i), s.LocalIndex(i)
-	t.ChargeXlate(1)
+	t.xlateAccess(s.id, i/s.block)
 	if t.Castable(owner) {
 		t.MemStreamFrom(int64(s.elemBytes), t.rt.places[owner].Socket)
 		s.segs[owner][local] = v

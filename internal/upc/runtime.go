@@ -107,6 +107,8 @@ type Runtime struct {
 	barCost   sim.Duration
 	bar       *phaseBarrier
 	allocs    []*sharedShape
+	nextArray uint32 // shared-array ids for translation-cache keys
+	xlate     xlateCosts
 	colls     []*collSlot
 	interned  map[string]any
 
@@ -204,6 +206,14 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	rt.nodesUsed = (cfg.Threads + cfg.ThreadsPerNode - 1) / cfg.ThreadsPerNode
 	rt.barCost = cl.BarrierCost(rt.nodesUsed)
 	rt.bar = newPhaseBarrier(cfg.Threads)
+	m := cfg.Machine
+	rt.xlate = xlateCosts{
+		miss:   sim.FromSeconds(m.PtrXlate),
+		hit:    sim.FromSeconds(m.PtrXlate * xlateHitFraction),
+		assist: sim.FromSeconds(1 / (m.ClockGHz * 1e9)),
+		cached: m.XlateCacheLines > 0,
+		hw:     m.XlateAssist,
+	}
 
 	// Endpoints: one per thread under Processes; one per node, shared by
 	// that node's threads, under Pthreads.
@@ -244,6 +254,10 @@ func (rt *Runtime) Start(main func(t *Thread)) {
 		rt.Eng.Go(fmt.Sprintf("upc%d", t.ID), func(p *sim.Proc) {
 			t.P = p
 			main(t)
+			// Residual translation counters: threads that exit without a
+			// final barrier (retired workers, early returns) still flush
+			// their deltas, so trace-fed counter totals match XlateStats.
+			t.flushXlateCounters()
 		})
 	}
 }

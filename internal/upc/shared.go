@@ -9,7 +9,8 @@ import "fmt"
 // charged by the transfer and charging APIs.
 type Shared[T any] struct {
 	rt        *Runtime
-	n         int // total elements
+	id        uint32 // runtime-unique, keys the translation cache
+	n         int    // total elements
 	elemBytes int
 	block     int   // elements per block (layout qualifier)
 	segs      [][]T // per-thread partitions
@@ -44,7 +45,8 @@ func Alloc[T any](t *Thread, n, elemBytes, blockSize int) *Shared[T] {
 	}
 	t.Barrier()
 	rec := t.rt.allocRecord(t.allocSeq, n, elemBytes, blockSize, func() any {
-		s := &Shared[T]{rt: t.rt, n: n, elemBytes: elemBytes, block: blockSize}
+		t.rt.nextArray++
+		s := &Shared[T]{rt: t.rt, id: t.rt.nextArray, n: n, elemBytes: elemBytes, block: blockSize}
 		s.segs = make([][]T, t.N)
 		for th := 0; th < t.N; th++ {
 			s.segs[th] = make([]T, s.PartLen(th))

@@ -150,9 +150,11 @@ func GetRect[T any](t *Thread, s *Shared2D[T], dst []T, owner, r0, c0, h, w int)
 	}
 	src := s.segs[owner]
 	if w == s.tileC && c0 == 0 {
-		t.getBytes(owner, int64(h*w*s.elemBytes), func() {
+		op := t.getBytes(owner, int64(h*w*s.elemBytes), func() {
 			copy(dst, src[r0*s.tileC:(r0+h)*s.tileC])
-		}).WaitRemote(t.P)
+		})
+		op.WaitRemote(t.P)
+		op.Release()
 		return
 	}
 	handles := make([]*Handle, 0, h)

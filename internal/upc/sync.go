@@ -21,7 +21,7 @@ type phaseBarrier struct {
 }
 
 func newPhaseBarrier(n int) *phaseBarrier {
-	return &phaseBarrier{n: n, inGen: make([]bool, n), ev: &sim.Event{}}
+	return &phaseBarrier{n: n, inGen: make([]bool, n), ev: &sim.Event{}} //upcvet:poolalloc -- runtime construction, once per SPMD run
 }
 
 // notify registers thread id's arrival and returns the generation's
@@ -65,7 +65,7 @@ func (b *phaseBarrier) release(rt *Runtime) {
 	for i := range b.inGen {
 		b.inGen[i] = false
 	}
-	b.ev = &sim.Event{}
+	b.ev = &sim.Event{} //upcvet:poolalloc -- one event per barrier generation, amortized over THREADS waiters
 	rt.Eng.After(rt.barCost, ev.Fire)
 }
 

@@ -30,6 +30,7 @@ type Thread struct {
 	pendingBar *sim.Event
 	allocSeq   int
 	collSeq    int
+	xl         xlateState // shared-pointer translation accounting
 }
 
 // Runtime reports the owning runtime.
@@ -83,6 +84,7 @@ func (t *Thread) Castable(other int) bool {
 // Barrier executes upc_barrier: all THREADS threads rendezvous; the
 // release is charged the dissemination cost across the nodes in use.
 func (t *Thread) Barrier() {
+	t.flushXlateCounters()
 	end := t.P.TraceSpan("upc", "barrier")
 	ev := t.rt.bar.notify(t.rt, t.ID)
 	ev.Wait(t.P)
@@ -94,6 +96,7 @@ func (t *Thread) BarrierNotify() {
 	if t.pendingBar != nil {
 		panic("upc: BarrierNotify without matching BarrierWait")
 	}
+	t.flushXlateCounters()
 	t.P.TraceInstant("upc", "barrier-notify", "", 0, 0)
 	t.pendingBar = t.rt.bar.notify(t.rt, t.ID)
 }
@@ -136,11 +139,21 @@ func (t *Thread) MemStreamFrom(bytes int64, homeSocket int) {
 }
 
 // ChargeXlate charges n shared-pointer translations (the per-access
-// overhead Table 3.1 shows dominating un-cast UPC shared access).
+// overhead Table 3.1 shows dominating un-cast UPC shared access) in
+// bulk. Hardware-assisted machines retire each decode in one cycle;
+// otherwise every bulk translation pays the full software decode — the
+// translation cache only serves the fine-grained element path, where
+// repeated hits on one block are observable per access.
 func (t *Thread) ChargeXlate(n int64) {
 	if n <= 0 {
 		return
 	}
+	t.xl.accesses += n
+	if t.rt.xlate.hw {
+		t.P.Advance(sim.FromSeconds(float64(n) / (t.rt.Cfg.Machine.ClockGHz * 1e9)))
+		return
+	}
+	t.xl.misses += n
 	t.P.Advance(sim.FromSeconds(float64(n) * t.rt.Cfg.Machine.PtrXlate))
 }
 
