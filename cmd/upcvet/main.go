@@ -1,14 +1,21 @@
 // upcvet is the repository's invariant checker: a multichecker that
 // runs the internal/analysis suite — wallclock, maporder, rawgo,
-// affinity, spanpair, poolalloc — over the module's packages, test
-// files included.
+// affinity, spanpair, poolalloc, collalign, sharedrace — over the
+// module's packages, test files included. The whole requested tree is
+// loaded into one analysis.Program first, so the interprocedural
+// analyzers (collalign, sharedrace) see cross-package call edges and
+// the type-checker caches are shared across every unit.
 // CI gates every PR on a clean run; see DESIGN.md "Determinism
-// invariants" for what each rule protects and internal/analysis for
-// the //upcvet: annotation grammar.
+// invariants" and §13 "Interprocedural concurrency checking" for what
+// each rule protects and internal/analysis for the //upcvet:
+// annotation grammar.
 //
 //	upcvet ./...                 # whole module (the CI invocation)
 //	upcvet ./internal/...        # one subtree
 //	upcvet -run maporder ./...   # a single analyzer
+//	upcvet -format=sarif ./...   # SARIF 2.1.0 on stdout (code scanning)
+//	upcvet -format=json ./...    # findings as a JSON array
+//	upcvet -stats ./...          # per-analyzer wall-clock to stderr
 //	upcvet -fix ./...            # append suppression annotations to
 //	                             # every annotatable finding (prefer
 //	                             # real fixes; see the analyzer docs)
@@ -18,12 +25,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
 )
@@ -31,6 +40,8 @@ import (
 var (
 	fix     = flag.Bool("fix", false, "apply suggested fixes (appends //upcvet: annotations to flagged lines)")
 	runOnly = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	format  = flag.String("format", "text", "output format: text, json or sarif")
+	stats   = flag.Bool("stats", false, "print load and per-analyzer wall-clock timings to stderr")
 )
 
 func main() {
@@ -44,6 +55,12 @@ func main() {
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(os.Stderr, "upcvet: unknown -format %q (want text, json or sarif)\n", *format)
+		os.Exit(2)
+	}
 	analyzers, err := selectAnalyzers(*runOnly)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "upcvet:", err)
@@ -55,37 +72,57 @@ func main() {
 		fmt.Fprintln(os.Stderr, "upcvet:", err)
 		os.Exit(2)
 	}
-	var diags []analysis.Diagnostic
+
+	// Resolve every pattern to package directories up front,
+	// deduplicated, so overlapping patterns load each package once and
+	// the whole tree lands in a single Program: call-graph edges and
+	// analyzer summaries then span all requested packages.
+	loadStart := time.Now()
+	seen := map[string]bool{}
+	var dirs []string
 	for _, pattern := range args {
-		dirs, err := analysis.PackageDirs(loader.Root, pattern)
+		ds, err := analysis.PackageDirs(loader.Root, pattern)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "upcvet:", err)
 			os.Exit(2)
 		}
-		for _, dir := range dirs {
-			rel, err := filepath.Rel(loader.Root, dir)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "upcvet:", err)
-				os.Exit(2)
-			}
-			path := loader.Module
-			if rel != "." {
-				path = loader.Module + "/" + filepath.ToSlash(rel)
-			}
-			units, err := loader.Load(dir, path, true)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "upcvet:", err)
-				os.Exit(2)
-			}
-			for _, unit := range units {
-				ds, err := analysis.RunAnalyzers(unit, analyzers)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "upcvet:", err)
-					os.Exit(2)
-				}
-				diags = append(diags, ds...)
+		for _, d := range ds {
+			if !seen[d] {
+				seen[d] = true
+				dirs = append(dirs, d)
 			}
 		}
+	}
+	sort.Strings(dirs)
+	var units []*analysis.Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(loader.Root, dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "upcvet:", err)
+			os.Exit(2)
+		}
+		path := loader.Module
+		if rel != "." {
+			path = loader.Module + "/" + filepath.ToSlash(rel)
+		}
+		us, err := loader.Load(dir, path, true)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "upcvet:", err)
+			os.Exit(2)
+		}
+		units = append(units, us...)
+	}
+	prog := analysis.NewProgram(units)
+	prog.Stats["load"] = time.Since(loadStart)
+
+	var diags []analysis.Diagnostic
+	for _, unit := range units {
+		ds, err := prog.RunUnit(unit, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "upcvet:", err)
+			os.Exit(2)
+		}
+		diags = append(diags, ds...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -97,12 +134,26 @@ func main() {
 		}
 		return a.Pos.Column < b.Pos.Column
 	})
-	for _, d := range diags {
-		rel := d.Pos.Filename
-		if r, err := filepath.Rel(loader.Root, rel); err == nil {
-			rel = r
+
+	if *stats {
+		printStats(prog, analyzers)
+	}
+
+	switch *format {
+	case "json":
+		if err := printJSON(loader.Root, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "upcvet:", err)
+			os.Exit(2)
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	case "sarif":
+		if err := printSARIF(loader.Root, analyzers, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "upcvet:", err)
+			os.Exit(2)
+		}
+	default:
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s: %s\n", relPath(loader.Root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
 	}
 	if *fix {
 		n, err := applyFixes(diags)
@@ -117,6 +168,125 @@ func main() {
 		fmt.Fprintf(os.Stderr, "upcvet: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+func relPath(root, name string) string {
+	if r, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(r, "..") {
+		return filepath.ToSlash(r)
+	}
+	return filepath.ToSlash(name)
+}
+
+func printStats(prog *analysis.Program, analyzers []*analysis.Analyzer) {
+	fmt.Fprintf(os.Stderr, "upcvet: %-12s %10s (%d units)\n", "load", prog.Stats["load"].Round(time.Millisecond), len(prog.Units))
+	for _, a := range analyzers {
+		fmt.Fprintf(os.Stderr, "upcvet: %-12s %10s\n", a.Name, prog.Stats[a.Name].Round(time.Millisecond))
+	}
+}
+
+// printJSON emits the findings as a JSON array of {file, line, column,
+// analyzer, message} objects, one per finding, sorted by position.
+func printJSON(root string, diags []analysis.Diagnostic) error {
+	type finding struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	out := make([]finding, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, finding{
+			File:     relPath(root, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// printSARIF emits a minimal SARIF 2.1.0 log: one run, one rule per
+// selected analyzer, one result per finding with a repo-relative
+// forward-slash URI. GitHub code scanning accepts this shape directly.
+func printSARIF(root string, analyzers []*analysis.Analyzer, diags []analysis.Diagnostic) error {
+	type sarifRule struct {
+		ID               string            `json:"id"`
+		ShortDescription map[string]string `json:"shortDescription"`
+	}
+	type sarifRegion struct {
+		StartLine   int `json:"startLine"`
+		StartColumn int `json:"startColumn,omitempty"`
+	}
+	type sarifLocation struct {
+		PhysicalLocation struct {
+			ArtifactLocation struct {
+				URI string `json:"uri"`
+			} `json:"artifactLocation"`
+			Region sarifRegion `json:"region"`
+		} `json:"physicalLocation"`
+	}
+	type sarifResult struct {
+		RuleID    string            `json:"ruleId"`
+		Level     string            `json:"level"`
+		Message   map[string]string `json:"message"`
+		Locations []sarifLocation   `json:"locations"`
+	}
+	type sarifLog struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name           string      `json:"name"`
+					InformationURI string      `json:"informationUri"`
+					Rules          []sarifRule `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []sarifResult `json:"results"`
+		} `json:"runs"`
+	}
+
+	var log sarifLog
+	log.Schema = "https://json.schemastore.org/sarif-2.1.0.json"
+	log.Version = "2.1.0"
+	log.Runs = make([]struct {
+		Tool struct {
+			Driver struct {
+				Name           string      `json:"name"`
+				InformationURI string      `json:"informationUri"`
+				Rules          []sarifRule `json:"rules"`
+			} `json:"driver"`
+		} `json:"tool"`
+		Results []sarifResult `json:"results"`
+	}, 1)
+	run := &log.Runs[0]
+	run.Tool.Driver.Name = "upcvet"
+	run.Tool.Driver.InformationURI = "https://example.invalid/repro/cmd/upcvet"
+	for _, a := range analyzers {
+		run.Tool.Driver.Rules = append(run.Tool.Driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: map[string]string{"text": a.Doc},
+		})
+	}
+	run.Results = make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		var loc sarifLocation
+		loc.PhysicalLocation.ArtifactLocation.URI = relPath(root, d.Pos.Filename)
+		loc.PhysicalLocation.Region = sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column}
+		run.Results = append(run.Results, sarifResult{
+			RuleID:    d.Analyzer,
+			Level:     "warning",
+			Message:   map[string]string{"text": d.Message},
+			Locations: []sarifLocation{loc},
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&log)
 }
 
 func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
@@ -187,7 +357,7 @@ func applyFixes(diags []analysis.Diagnostic) (int, error) {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: upcvet [-fix] [-run a,b] [package patterns]\n")
+	fmt.Fprintf(os.Stderr, "usage: upcvet [-fix] [-run a,b] [-format text|json|sarif] [-stats] [package patterns]\n")
 	flag.PrintDefaults()
 }
 

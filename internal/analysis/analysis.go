@@ -5,7 +5,12 @@
 // time only, deterministic event order, all concurrency through
 // sim.Proc or the sweep pool, and the paper's castability contract —
 // and each analyzer encodes one of them (see wallclock.go, maporder.go,
-// rawgo.go, affinity.go, spanpair.go, poolalloc.go).
+// rawgo.go, affinity.go, spanpair.go, poolalloc.go). On top of the
+// per-package rules, the interprocedural concurrency checkers
+// (collalign.go, sharedrace.go) verify the UPC synchronization model
+// itself — textually aligned collectives and phase-separated shared
+// access — across function and package boundaries via the call-graph
+// layer in callgraph.go.
 //
 // The framework mirrors the golang.org/x/tools/go/analysis API shape
 // (Analyzer, Pass, Diagnostic, suggested fixes) but is built on the
@@ -22,7 +27,7 @@
 //	//upcvet:NAME[,NAME...] [-- reason]
 //
 // where NAME is an analyzer name (wallclock, maporder, rawgo, affinity,
-// spanpair, poolalloc) or one of its aliases (maporder also answers to "ordered",
+// spanpair, poolalloc, collalign, sharedrace) or one of its aliases (maporder also answers to "ordered",
 // the spelling used at loop sites: //upcvet:ordered). The free-text
 // reason after "--" is for the human reader; upcvet ignores it but the
 // reviewer should not — an annotation without a justification is a
@@ -44,6 +49,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // An Analyzer describes one invariant checker.
@@ -60,7 +66,7 @@ type Analyzer struct {
 }
 
 // All lists every analyzer in the suite, in reporting order.
-var All = []*Analyzer{Wallclock, Maporder, Rawgo, Affinity, Spanpair, Poolalloc}
+var All = []*Analyzer{Wallclock, Maporder, Rawgo, Affinity, Spanpair, Poolalloc, Collalign, Sharedrace}
 
 // ByName resolves an analyzer by name.
 func ByName(name string) (*Analyzer, bool) {
@@ -83,10 +89,20 @@ type Pass struct {
 	Path string
 	Pkg  *types.Package
 	Info *types.Info
+	// Prog is the whole-run Program: every loaded unit, the module-wide
+	// call graph and the cross-package summary store (callgraph.go).
+	// The interprocedural analyzers reach other packages through it.
+	Prog *Program
 
 	diags *[]Diagnostic
 	notes map[string]map[int][]string // file -> line -> annotation names
+	spans map[string][]lineSpan       // file -> multi-line simple-statement spans
 }
+
+// A lineSpan is the line range of one multi-line simple statement; an
+// annotation on (or above) its first line suppresses findings anywhere
+// inside it.
+type lineSpan struct{ start, end int }
 
 // A Diagnostic is one finding.
 type Diagnostic struct {
@@ -160,13 +176,23 @@ func (p *Pass) report(pos token.Pos, fix *SuggestedFix, format string, args ...a
 }
 
 // suppressed reports whether an //upcvet: annotation naming this
-// analyzer (or an alias) sits on the finding's line or the line above.
+// analyzer (or an alias) sits on the finding's line, the line above it,
+// or — when the finding falls inside a multi-line simple statement (a
+// wrapped call, a function-literal argument) — on the statement's first
+// line or the line above that. Without the span rule an annotation on a
+// multi-line statement only reached the first line's diagnostics.
 func (p *Pass) suppressed(pos token.Position) bool {
 	lines, ok := p.notes[pos.Filename]
 	if !ok {
 		return false
 	}
-	for _, line := range []int{pos.Line, pos.Line - 1} {
+	candidates := []int{pos.Line, pos.Line - 1}
+	for _, s := range p.spans[pos.Filename] {
+		if s.start < pos.Line && pos.Line <= s.end {
+			candidates = append(candidates, s.start, s.start-1)
+		}
+	}
+	for _, line := range candidates {
 		for _, name := range lines[line] {
 			if name == p.Analyzer.Name {
 				return true
@@ -179,6 +205,35 @@ func (p *Pass) suppressed(pos token.Position) bool {
 		}
 	}
 	return false
+}
+
+// suppressedAt lets an analyzer test suppression at a secondary
+// position — sharedrace findings pair two accesses and honor an
+// annotation on either one.
+func (p *Pass) suppressedAt(pos token.Pos) bool {
+	return p.suppressed(p.Fset.Position(pos))
+}
+
+// stmtSpans indexes the multi-line simple statements of each file.
+// Control-flow statements (if/for/switch/blocks) are deliberately
+// excluded: an annotation above a loop should not blanket its whole
+// body, only a single wrapped statement.
+func stmtSpans(fset *token.FileSet, files []*ast.File) map[string][]lineSpan {
+	spans := map[string][]lineSpan{}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.AssignStmt, *ast.ExprStmt, *ast.ReturnStmt, *ast.DeferStmt, *ast.GoStmt, *ast.DeclStmt:
+				start := fset.Position(n.Pos())
+				end := fset.Position(n.End())
+				if end.Line > start.Line {
+					spans[start.Filename] = append(spans[start.Filename], lineSpan{start.Line, end.Line})
+				}
+			}
+			return true
+		})
+	}
+	return spans
 }
 
 const annotationPrefix = "//upcvet:"
@@ -226,10 +281,20 @@ func parseAnnotation(text string) ([]string, bool) {
 }
 
 // RunAnalyzers applies the given analyzers to one loaded package and
-// returns the findings sorted by position.
+// returns the findings sorted by position. The package becomes a
+// single-unit Program; multi-unit runs (upcvet over the whole module)
+// build one Program up front and call RunUnit per unit instead, so the
+// call graph and summaries span packages and load work is shared.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return NewProgram([]*Package{pkg}).RunUnit(pkg, analyzers)
+}
+
+// RunUnit applies the analyzers to one unit of the program, timing each
+// analyzer into prog.Stats.
+func (prog *Program) RunUnit(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	notes := collectAnnotations(pkg.Fset, pkg.Files)
+	spans := stmtSpans(pkg.Fset, pkg.Files)
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer: a,
@@ -238,10 +303,15 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Path:     pkg.Path,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			Prog:     prog,
 			diags:    &diags,
 			notes:    notes,
+			spans:    spans,
 		}
-		if err := a.Run(pass); err != nil {
+		start := time.Now()
+		err := a.Run(pass)
+		prog.Stats[a.Name] += time.Since(start)
+		if err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
 		}
 	}

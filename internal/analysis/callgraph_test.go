@@ -1,0 +1,83 @@
+package analysis_test
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+const cgBase = "repro/internal/analysis/testdata/callgraph/"
+
+// loadCallgraphProgram loads the two-package fixture (app imports leaf
+// by its real module path) into one Program.
+func loadCallgraphProgram(t *testing.T) *analysis.Program {
+	t.Helper()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var units []*analysis.Package
+	for _, dir := range []string{"leaf", "app"} {
+		pkgs, err := loader.Load("testdata/callgraph/"+dir, cgBase+dir, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		units = append(units, pkgs...)
+	}
+	return analysis.NewProgram(units)
+}
+
+func TestCallGraphCrossPackageEdges(t *testing.T) {
+	prog := loadCallgraphProgram(t)
+
+	step := prog.Node(cgBase + "app.Step")
+	if step == nil {
+		t.Fatalf("no node for app.Step; have %v", prog.FuncNames())
+	}
+	if !slices.Contains(step.Callees, cgBase+"leaf.Sync") {
+		t.Errorf("app.Step callees = %v, want an edge to leaf.Sync", step.Callees)
+	}
+
+	sync := prog.Node(cgBase + "leaf.Sync")
+	if sync == nil {
+		t.Fatal("no node for leaf.Sync")
+	}
+	if !sync.DirectCollective {
+		t.Error("leaf.Sync should be directly collective (calls Barrier)")
+	}
+}
+
+func TestCallGraphMayCollect(t *testing.T) {
+	prog := loadCallgraphProgram(t)
+
+	for _, tc := range []struct {
+		name string
+		want bool
+	}{
+		{cgBase + "app.Kernel", true}, // two edges away from Barrier
+		{cgBase + "app.Step", true},
+		{cgBase + "leaf.Sync", true},
+		{cgBase + "app.Leafless", false},
+		{cgBase + "leaf.Pure", false},
+	} {
+		if got := prog.MayCollect(tc.name); got != tc.want {
+			t.Errorf("MayCollect(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestCallGraphReachable(t *testing.T) {
+	prog := loadCallgraphProgram(t)
+
+	barrier := "(*" + cgBase + "leaf.Thread).Barrier"
+	if !prog.Reachable(cgBase+"app.Kernel", barrier) {
+		t.Errorf("Kernel should reach %s", barrier)
+	}
+	if prog.Reachable(cgBase+"app.Leafless", barrier) {
+		t.Error("Leafless must not reach Barrier")
+	}
+	if prog.Reachable(cgBase+"leaf.Pure", cgBase+"app.Kernel") {
+		t.Error("reachability must follow edge direction")
+	}
+}

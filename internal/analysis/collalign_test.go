@@ -1,0 +1,17 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestCollalign(t *testing.T) {
+	// Thread-conditional barriers, divergent early exits, unbalanced
+	// loops, and the same bugs one call or one switch away: flagged.
+	analysistest.Run(t, "testdata/collalign/bad", "repro/internal/apps/colldata", analysis.Collalign)
+	// Uniform conditions, balanced arms, collective-cleansed bounds and
+	// annotated suppression: quiet.
+	analysistest.Run(t, "testdata/collalign/ok", "repro/internal/apps/collok", analysis.Collalign)
+}

@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestSharedrace(t *testing.T) {
+	// Same-phase conflicting accesses without ownership evidence,
+	// including a conflict spliced through a call: flagged.
+	analysistest.Run(t, "testdata/sharedrace/bad", "repro/internal/apps/racedata", analysis.Sharedrace)
+	// Barrier-separated phases, owner-affine and thread-keyed indexing,
+	// Cast guards, lock spans, solo guards, and a multi-line-statement
+	// suppression: quiet.
+	analysistest.Run(t, "testdata/sharedrace/ok", "repro/internal/apps/raceok", analysis.Sharedrace)
+}

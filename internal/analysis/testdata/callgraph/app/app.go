@@ -1,0 +1,17 @@
+// Package app is the importing half of the cross-package call-graph
+// fixture: Kernel reaches leaf's Barrier only through two edges.
+package app
+
+import leaf "repro/internal/analysis/testdata/callgraph/leaf"
+
+func Kernel(t *leaf.Thread) {
+	Step(t)
+}
+
+func Step(t *leaf.Thread) {
+	leaf.Sync(t)
+}
+
+func Leafless() int {
+	return leaf.Pure(1)
+}

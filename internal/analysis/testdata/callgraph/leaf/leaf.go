@@ -1,0 +1,18 @@
+// Package leaf is the imported half of the cross-package call-graph
+// fixture: it owns the collective-bearing Thread type.
+package leaf
+
+type Thread struct{ ID, N int }
+
+func (*Thread) Barrier() {}
+
+// Sync is the collective-reaching entry point app calls across the
+// package boundary.
+func Sync(t *Thread) {
+	t.Barrier()
+}
+
+// Pure never reaches a collective.
+func Pure(x int) int {
+	return x + 1
+}

@@ -1,0 +1,60 @@
+// Package racedata seeds the same-phase conflicts sharedrace must
+// catch: shared accesses with no collective between them and no
+// ownership evidence. The stubs mirror the upc.Shared / upc.Thread
+// shapes the analyzer keys on.
+package racedata
+
+type thread struct{ ID, N int }
+
+func (*thread) Barrier() {}
+
+type shared struct{}
+
+func (*shared) Local(t *thread) []int64 { return nil }
+
+func (*shared) Cast(t *thread, owner int) []int64 { return nil }
+
+func PutT(t *thread, s *shared, owner, off int, src []int64) {}
+
+func GetT(t *thread, s *shared, dst []int64, owner, off int) {}
+
+func ReadElem(t *thread, s *shared, i int) int64 { return 0 }
+
+func WriteElem(t *thread, s *shared, i int, v int64) {}
+
+// A remote put and a local read with no collective between them: the
+// put may land in this thread's partition mid-read.
+func crossThenLocal(t *thread, s *shared) int64 {
+	buf := make([]int64, 1)
+	PutT(t, s, (t.ID*7+3)%t.N, 0, buf)
+	la := s.Local(t)
+	return la[0] // want "may conflict"
+}
+
+// Two writes to unproven-disjoint global slots.
+func unkeyedWrites(t *thread, s *shared) {
+	WriteElem(t, s, t.ID, 1)
+	WriteElem(t, s, 2*t.ID+1, 2) // want "may conflict"
+}
+
+// The deleted-barrier shape: the write/read pair is fine only with the
+// collective between them; commenting it out must trip the analyzer.
+func missingBarrier(t *thread, s *shared) int64 {
+	la := s.Local(t)
+	la[0] = int64(t.ID)
+	// t.Barrier() was here.
+	return ReadElem(t, s, (t.ID+1)%t.N) // want "may conflict"
+}
+
+// The bug one call away: the callee's remote write is spliced into the
+// caller's phase, where it meets the local read.
+func remoteWrite(t *thread, s *shared) {
+	buf := make([]int64, 1)
+	PutT(t, s, (t.ID*5+1)%t.N, 0, buf)
+}
+
+func viaCall(t *thread, s *shared) int64 {
+	remoteWrite(t, s)
+	la := s.Local(t)
+	return la[0] // want "may conflict"
+}

@@ -258,7 +258,7 @@ func runAggregated(t *upc.Thread, table *upc.Shared[uint64], ups []update,
 				// Under grouping the receiver scatters to node peers
 				// through the cast table; both cases are direct memory at
 				// the receiving node.
-				//upcvet:affinity -- delivery-time handler, runs at the receiving node
+				//upcvet:affinity,sharedrace -- delivery-time XOR scatter; commutative updates, deterministic under virtual time
 				table.Partition(owner)[local] ^= u.value
 			}
 		}))

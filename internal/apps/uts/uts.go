@@ -529,6 +529,7 @@ func (w *worker) tryVictim(v int) bool {
 		w.bump("probes_failed", 1)
 		return false
 	}
+	//upcvet:sharedrace -- optimistic unlocked probe of the victim's count; revalidated under the victim lock before stealing
 	m, err := upc.ReadElemErr(t, w.cnt, v)
 	if err != nil {
 		w.strike(v)

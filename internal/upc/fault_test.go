@@ -145,6 +145,7 @@ func TestBarrierErrTimesOut(t *testing.T) {
 	cfg.Faults = sched
 	var barErr error
 	_, err := Run(cfg, func(th *Thread) {
+		//upcvet:collalign -- deliberate no-show exercising the barrier timeout ladder
 		if th.ID == 1 {
 			th.P.Advance(20 * sim.Second) // never shows up
 			return

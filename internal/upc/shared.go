@@ -233,6 +233,7 @@ func CopyT[T any](t *Thread, dst *Shared[T], dstOwner, dstOff int,
 	default:
 		buf := make([]T, n)
 		GetT(t, src, buf, srcOwner, srcOff)
+		//upcvet:sharedrace -- one switch arm runs per call; both arms write the same caller-chosen dstOwner/dstOff span
 		PutT(t, dst, dstOwner, dstOff, buf)
 	}
 }
