@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/metrics"
 )
@@ -32,6 +33,12 @@ var flames = flag.String("flames", "",
 
 var maxDeltas = flag.Int("max-deltas", 40,
 	"print at most this many differing metrics")
+
+var flame = flag.Bool("flame", false,
+	"with one manifest: print the hottest profile frames by exclusive virtual time")
+
+var top = flag.Int("top", 10,
+	"how many frames -flame prints")
 
 func main() {
 	flag.Usage = func() {
@@ -62,6 +69,10 @@ func load(path string) *metrics.Manifest {
 
 func summarize(path string) {
 	m := load(path)
+	if *flame {
+		printFlame(m)
+		return
+	}
 	m.Summary(os.Stdout)
 	if *flames == "" {
 		return
@@ -76,6 +87,37 @@ func summarize(path string) {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "folded stacks written to %s\n", *flames)
+}
+
+// printFlame renders the -top hottest profile frames by exclusive
+// virtual time — the text view of the flamegraph, for terminals.
+func printFlame(m *metrics.Manifest) {
+	if m.Profile == nil || len(m.Profile.Phases) == 0 {
+		fmt.Fprintln(os.Stderr, "upc-metrics: manifest has no profile section")
+		os.Exit(1)
+	}
+	phases := append([]metrics.PhaseStat(nil), m.Profile.Phases...)
+	sort.Slice(phases, func(i, j int) bool {
+		if phases[i].ExclusiveNS != phases[j].ExclusiveNS {
+			return phases[i].ExclusiveNS > phases[j].ExclusiveNS
+		}
+		return phases[i].Name < phases[j].Name
+	})
+	var total int64
+	for _, p := range phases {
+		total += p.ExclusiveNS
+	}
+	if len(phases) > *top {
+		phases = phases[:*top]
+	}
+	fmt.Printf("%-28s %10s %14s %14s %7s\n", "FRAME", "COUNT", "INCL-NS", "EXCL-NS", "EXCL%")
+	for _, p := range phases {
+		pctv := 0.0
+		if total > 0 {
+			pctv = 100 * float64(p.ExclusiveNS) / float64(total)
+		}
+		fmt.Printf("%-28s %10d %14d %14d %6.2f%%\n", p.Name, p.Count, p.InclusiveNS, p.ExclusiveNS, pctv)
+	}
 }
 
 func diff(pathA, pathB string) {

@@ -350,6 +350,7 @@ var simSidePackages = []string{
 	"repro/internal/experiments",
 	"repro/internal/trace",
 	"repro/internal/metrics",
+	"repro/internal/causality",
 	"repro/internal/fft",
 	"repro/internal/topo",
 	"repro/internal/perf",

@@ -14,6 +14,7 @@ import (
 	"repro/internal/apps/netbench"
 	"repro/internal/apps/stream"
 	"repro/internal/apps/uts"
+	"repro/internal/causality"
 	"repro/internal/perf"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -94,6 +95,25 @@ func utsConfig(conduit string, procs int, strat uts.Strategy, quick bool) uts.Co
 		Tree:        utsTree(quick),
 		Seed:        seed,
 	}
+}
+
+// cpWaitPct reports the percentage of a run's critical path the
+// causality analysis attributes to waiting — everything but compute:
+// PSHM and network communication, fault recovery, scheduler idling.
+// Each run feeds its own recorder, so the figure is deterministic at
+// any sweep width.
+func cpWaitPct(rec *causality.Recorder) float64 {
+	exp := rec.Export()
+	if exp.TotalMakespanNS == 0 {
+		return 0
+	}
+	var wait int64
+	for _, s := range exp.Totals {
+		if s.Category != causality.CatCompute {
+			wait += s.NS
+		}
+	}
+	return 100 * float64(wait) / float64(exp.TotalMakespanNS)
 }
 
 // localStealPct computes Table 3.2's local-steal percentage from the
@@ -185,6 +205,7 @@ func Table32(w io.Writer, quick bool) error {
 	type traced struct {
 		r   uts.Result
 		col *trace.Collector
+		rec *causality.Recorder
 	}
 	runs := make([]traced, 2*len(shapes))
 	err := sweep.Run(len(runs), func(i int, tr trace.Tracer) error {
@@ -193,10 +214,11 @@ func Table32(w io.Writer, quick bool) error {
 			strat = uts.LocalRapid
 		}
 		col := trace.NewCollector()
+		rec := causality.NewRecorder()
 		cfg := utsConfig(shapes[i/2].net, shapes[i/2].procs, strat, quick)
-		cfg.Tracer = trace.Tee(col, tr)
+		cfg.Tracer = trace.Tee(col, trace.Tee(rec, tr))
 		r, err := uts.Run(cfg)
-		runs[i] = traced{r, col}
+		runs[i] = traced{r, col, rec}
 		return err
 	})
 	if err != nil {
@@ -212,12 +234,13 @@ func Table32(w io.Writer, quick bool) error {
 			fmt.Sprintf("%.1f", localStealPct(base.col)),
 			fmt.Sprintf("%.1f", localStealPct(opt.col)),
 			stealSpread(opt.col),
+			fmt.Sprintf("%.1f/%.1f", cpWaitPct(base.rec), cpWaitPct(opt.rec)),
 			paper[i][0], paper[i][1], paper[i][2],
 		})
 	}
 	report.Table(w, "Table 3.2: Profiling Results of UTS (16 nodes)",
 		[]string{"config", "improvement", "local% base", "local% opt",
-			"steals/thr p10/med/p90",
+			"steals/thr p10/med/p90", "critical-path wait% b/o",
 			"paper-impr", "paper-base%", "paper-opt%"}, rows)
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/apps/ft"
+	"repro/internal/causality"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/sweep"
@@ -41,10 +42,13 @@ func Figure44(w io.Writer, quick bool) error {
 	}
 	threads := ftThreads(quick)
 	results := make([]ft.Result, len(threads))
+	recs := make([]*causality.Recorder, len(threads))
 	err := sweep.Run(len(threads), func(i int, tr trace.Tracer) error {
+		recs[i] = causality.NewRecorder()
 		r, err := ft.Run(ft.Config{
 			Machine: topo.Lehman(), Class: cls, Variant: ft.UPCProcesses,
-			Threads: threads[i], PerNode: perNodeFor(threads[i]), Seed: seed, Tracer: tr,
+			Threads: threads[i], PerNode: perNodeFor(threads[i]), Seed: seed,
+			Tracer: trace.Tee(recs[i], tr),
 		})
 		results[i] = r
 		return err
@@ -77,6 +81,15 @@ func Figure44(w io.Writer, quick bool) error {
 	}
 	report.Figure(w, "Figure 4.4: NAS FT runtime performance breakdown (speedup vs 1 thread, Lehman)",
 		"threads", series)
+	// The critical-path share of each point: how much of the makespan
+	// the causality analysis attributes to waiting rather than compute.
+	fmt.Fprintln(w)
+	cpRows := make([][]string, len(threads))
+	for i, th := range threads {
+		cpRows[i] = []string{fmt.Sprintf("%d", th), fmt.Sprintf("%.1f%%", cpWaitPct(recs[i]))}
+	}
+	report.Table(w, "Figure 4.4 (supplement): critical-path wait share",
+		[]string{"threads", "critical-path wait%"}, cpRows)
 	return nil
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/apps/stream"
 	"repro/internal/apps/uts"
+	"repro/internal/causality"
 	"repro/internal/report"
 	"repro/internal/trace"
 )
@@ -57,6 +58,7 @@ func Table32Sharded(w io.Writer, quick bool) error {
 	type traced struct {
 		r   uts.Result
 		col *trace.Collector
+		rec *causality.Recorder
 	}
 	runs := make([]traced, 2*len(shapes))
 	for i := range runs {
@@ -65,13 +67,14 @@ func Table32Sharded(w io.Writer, quick bool) error {
 			strat = uts.LocalRapid
 		}
 		col := trace.NewCollector()
+		rec := causality.NewRecorder()
 		cfg := utsConfig(shapes[i/2].net, shapes[i/2].procs, strat, quick)
-		cfg.Tracer = col
+		cfg.Tracer = trace.Tee(col, rec)
 		r, err := uts.RunSharded(cfg)
 		if err != nil {
 			return err
 		}
-		runs[i] = traced{r, col}
+		runs[i] = traced{r, col, rec}
 	}
 	rows := make([][]string, 0, len(shapes))
 	for i, sh := range shapes {
@@ -83,10 +86,11 @@ func Table32Sharded(w io.Writer, quick bool) error {
 			fmt.Sprintf("%.1f", localStealPct(base.col)),
 			fmt.Sprintf("%.1f", localStealPct(opt.col)),
 			stealSpread(opt.col),
+			fmt.Sprintf("%.1f/%.1f", cpWaitPct(base.rec), cpWaitPct(opt.rec)),
 		})
 	}
 	report.Table(w, "Table 3.2 (sharded): Profiling Results of UTS (16 nodes, sharded engine)",
 		[]string{"config", "improvement", "local% base", "local% opt",
-			"steals/thr p10/med/p90"}, rows)
+			"steals/thr p10/med/p90", "critical-path wait% b/o"}, rows)
 	return nil
 }

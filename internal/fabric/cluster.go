@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // workScale converts seconds of core work into flow units so that the
@@ -32,6 +33,11 @@ type Cluster struct {
 	// off, which keeps the message hooks to a single pointer check).
 	faults FaultModel
 
+	// edges is true when the engine's tracer opted into completion-edge
+	// instants (trace.EdgeObserver), cached at construction so delivery
+	// legs pay a single bool test.
+	edges bool
+
 	// Operation free lists (see pool.go).
 	putPool sim.FreeList[putOp]
 	getPool sim.FreeList[getOp]
@@ -44,7 +50,8 @@ func NewCluster(e *sim.Engine, m *topo.Machine, cond Conduit) *Cluster {
 	if err := m.Validate(); err != nil {
 		panic(err)
 	}
-	c := &Cluster{Eng: e, Mach: m, Net: NewNet(e), Conduit: cond}
+	c := &Cluster{Eng: e, Mach: m, Net: NewNet(e), Conduit: cond,
+		edges: trace.WantsEdge(e.Tracer())}
 	nCores := m.TotalCores()
 	c.cores = make([]*Link, nCores)
 	for i := range c.cores {

@@ -17,7 +17,10 @@
 // pre-pooling behavior.
 package fabric
 
-import "repro/internal/sim"
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
 
 // releasable is the pool-owner hook behind NetOp.Release.
 type releasable interface{ release() }
@@ -138,6 +141,10 @@ func (l *putLeg) Run() {
 			o.apply()
 		}
 		eng.TraceInstant("fabric", "deliver", c.Conduit.Name, o.size, 0)
+		if c.edges {
+			eng.TraceInstant(trace.CatEdge, trace.EdgeDeliver, c.Conduit.Name,
+				o.size, trace.PackEndpoints(0, 0, o.ep.node, o.dst.node))
+		}
 		o.op.Remote.Fire()
 		o.deref()
 	}
@@ -276,6 +283,10 @@ func (l *getLeg) Run() {
 			o.apply()
 		}
 		eng.TraceInstant("fabric", "deliver", c.Conduit.Name, o.size, 0)
+		if c.edges {
+			eng.TraceInstant(trace.CatEdge, trace.EdgeDeliver, c.Conduit.Name,
+				o.size, trace.PackEndpoints(0, 0, o.src.node, o.ep.node))
+		}
 		o.op.Local.Fire() // a get has a single completion
 		o.op.Remote.Fire()
 		o.deref()

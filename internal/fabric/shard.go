@@ -58,7 +58,8 @@ func NewShardNet(g *sim.ShardGroup, cond Conduit) *ShardNet {
 				g.SetLookahead(i, j, la)
 			}
 		}
-		n.ports[i] = &ShardPort{net: n, lane: i, eng: g.Lane(i)}
+		n.ports[i] = &ShardPort{net: n, lane: i, eng: g.Lane(i),
+			edges: trace.WantsEdge(g.Lane(i).Tracer())}
 	}
 	return n
 }
@@ -93,6 +94,9 @@ type ShardPort struct {
 	net  *ShardNet
 	lane int
 	eng  *sim.Engine
+	// edges is true when this lane's tracer opted into completion-edge
+	// instants (trace.EdgeObserver), cached at construction.
+	edges bool
 
 	gapTx sim.Server
 	gapRx sim.Server
@@ -185,6 +189,7 @@ func (pt *ShardPort) put(p *sim.Proc, dst int, size int64, reliable bool, apply 
 	}
 	o.pt = pt
 	o.dst = dst
+	o.size = size
 	o.reliable = reliable
 	o.apply = apply
 	o.ack.o = o
@@ -209,6 +214,7 @@ func (pt *ShardPort) put(p *sim.Proc, dst int, size int64, reliable bool, apply 
 type shardPutOp struct {
 	pt       *ShardPort // source port
 	dst      int
+	size     int64
 	reliable bool
 	apply    func()
 	done     sim.Event
@@ -237,6 +243,10 @@ func (r *shardRxOp) Run() {
 	dp.rxOps.Put(r)
 	if o.apply != nil {
 		o.apply()
+	}
+	if dp.edges {
+		dp.eng.TraceInstant(trace.CatEdge, trace.EdgeDeliver, "shard",
+			o.size, trace.PackEndpoints(0, 0, o.pt.lane, o.dst))
 	}
 	// The ack retraces the wire; it carries no payload.
 	g := o.pt.net.Group

@@ -8,6 +8,8 @@ import (
 	"os"
 	"sort"
 	"strconv"
+
+	"repro/internal/causality"
 )
 
 // Manifest is the single JSON artifact a -metrics run emits: the
@@ -31,6 +33,9 @@ type Manifest struct {
 	Comm       *CommExport       `json:"comm,omitempty"`
 	Util       *UtilExport       `json:"util,omitempty"`
 	Profile    *ProfileExport    `json:"profile,omitempty"`
+	// Analysis is the causality engine's wait-state and critical-path
+	// analysis, present when the run was collected with -analyze.
+	Analysis *causality.Export `json:"analysis,omitempty"`
 }
 
 // Write serializes the manifest as indented JSON.
@@ -142,6 +147,25 @@ func (m *Manifest) Flatten() []Metric {
 		}
 		for _, f := range m.Profile.Folded {
 			add("profile.stack."+f.Stack+".ns", float64(f.NS))
+		}
+	}
+	if m.Analysis != nil {
+		add("analysis.makespan_ns", float64(m.Analysis.TotalMakespanNS))
+		for _, s := range m.Analysis.Totals {
+			add("analysis.critical."+s.Category+".ns", float64(s.NS))
+		}
+		for i := range m.Analysis.Runs {
+			ra := &m.Analysis.Runs[i]
+			p := "analysis.run" + strconv.Itoa(i)
+			add(p+".waits", float64(ra.Waits))
+			add(p+".edges", float64(ra.Edges))
+			for _, s := range ra.CriticalPath.Segments {
+				add(p+".critical."+s.Category+".ns", float64(s.NS))
+			}
+			for _, wc := range ra.WaitClasses {
+				add(p+".wait."+wc.Class+".n", float64(wc.Instances))
+				add(p+".wait."+wc.Class+".ns", float64(wc.TotalNS))
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

@@ -64,6 +64,9 @@ type World struct {
 
 	inj   *fault.Injector
 	retry fault.RetryPolicy
+	// edges is true when the installed tracer opted into completion-edge
+	// instants (trace.EdgeObserver), cached at construction.
+	edges bool
 }
 
 type message struct {
@@ -160,6 +163,7 @@ func NewWorld(cfg Config) (*World, error) {
 		inbox:   make([][]*message, cfg.Ranks),
 		rxQ:     make([]sim.WaitQueue, cfg.Ranks),
 	}
+	w.edges = trace.WantsEdge(eng.Tracer())
 	w.nodes = (cfg.Ranks + cfg.RanksPerNode - 1) / cfg.RanksPerNode
 	w.barCost = cl.BarrierCost(w.nodes)
 	w.bar = &barrier{n: cfg.Ranks, ev: &sim.Event{}}
@@ -288,10 +292,19 @@ func (c *Comm) Recv(src int) []byte {
 // posted.
 func (c *Comm) match(src int) *message {
 	w := c.w
+	waited := false
 	for {
 		if m := c.matchNow(src); m != nil {
+			if w.edges && waited {
+				// Late-sender edge: the receiver was parked when the post
+				// finally arrived; blame the sender.
+				c.P.TraceInstant(trace.CatEdge, trace.EdgeMsgMatch, "", m.bytes,
+					trace.PackEndpoints(m.src, c.Rank,
+						w.places[m.src].Node, c.Place.Node))
+			}
 			return m
 		}
+		waited = true
 		w.rxQ[c.Rank].Wait(c.P, "mpi-recv")
 	}
 }

@@ -193,6 +193,9 @@ func NewShardGroup(seed int64, lanes int, sink trace.Tracer) *ShardGroup {
 			if trace.WantsUtil(sink) {
 				tr = trace.Utiled(tr)
 			}
+			if trace.WantsEdge(sink) {
+				tr = trace.Edged(tr)
+			}
 		}
 		g.lanes[i] = newLane(g, i, laneSeed(seed, i), tr)
 	}

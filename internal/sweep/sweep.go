@@ -85,6 +85,7 @@ func Run(n int, job func(i int, tr trace.Tracer) error) error {
 		// from the replayed — and digested — stream.
 		clocked := trace.WantsClock(saved)
 		util := trace.WantsUtil(saved)
+		edged := trace.WantsEdge(saved)
 		for i := range bufs {
 			bufs[i] = trace.NewBuffer()
 			t := trace.Tracer(bufs[i])
@@ -93,6 +94,9 @@ func Run(n int, job func(i int, tr trace.Tracer) error) error {
 			}
 			if util {
 				t = trace.Utiled(t)
+			}
+			if edged {
+				t = trace.Edged(t)
 			}
 			tracers[i] = t
 		}

@@ -67,3 +67,134 @@ func TestMergeStreamsDigest(t *testing.T) {
 		t.Fatalf("digest %016x (%d), want %016x (5)", d.Sum64(), d.Events(), ref.Sum64())
 	}
 }
+
+// mergeRef is the reference order: stable sort by (Time, stream index,
+// intra-stream position).
+func mergeRef(streams [][]Event) []Event {
+	type keyed struct {
+		e           Event
+		stream, pos int
+	}
+	var all []keyed
+	for i, s := range streams {
+		for j, e := range s {
+			all = append(all, keyed{e, i, j})
+		}
+	}
+	sort.SliceStable(all, func(a, b int) bool {
+		if all[a].e.Time != all[b].e.Time {
+			return all[a].e.Time < all[b].e.Time
+		}
+		if all[a].stream != all[b].stream {
+			return all[a].stream < all[b].stream
+		}
+		return all[a].pos < all[b].pos
+	})
+	out := make([]Event, len(all))
+	for i, k := range all {
+		out[i] = k.e
+	}
+	return out
+}
+
+// checkMerge asserts MergeStreams equals the reference order.
+func checkMerge(t *testing.T, name string, streams [][]Event) {
+	t.Helper()
+	want := mergeRef(streams)
+	var got Buffer
+	MergeStreams(&got, streams)
+	if got.Len() != len(want) {
+		t.Fatalf("%s: merged %d events, want %d", name, got.Len(), len(want))
+	}
+	for i, e := range got.Events() {
+		if e != want[i] {
+			t.Fatalf("%s: event %d = %+v, want %+v", name, i, e, want[i])
+		}
+	}
+}
+
+// TestMergeStreamsTieBreaks pins the ordering contract the causality
+// replay builds on, at its edges: every-lane ties at a single instant,
+// long equal-time bursts within one lane racing a lower lane's single
+// event, byte-identical events duplicated across lanes, and lanes that
+// drain at different rates (including empty ones).
+func TestMergeStreamsTieBreaks(t *testing.T) {
+	ev := func(lane int32, tm int64, j int64) Event {
+		return Event{Time: tm, Kind: KInstant, Proc: lane, Arg: j}
+	}
+	t.Run("all-lanes-equal-time", func(t *testing.T) {
+		// Three lanes, every event at t=7: output must be lane 0's burst,
+		// then lane 1's, then lane 2's, each in emission order.
+		streams := [][]Event{
+			{ev(0, 7, 0), ev(0, 7, 1)},
+			{ev(1, 7, 0), ev(1, 7, 1), ev(1, 7, 2)},
+			{ev(2, 7, 0)},
+		}
+		checkMerge(t, "all-equal", streams)
+	})
+	t.Run("burst-vs-lower-lane", func(t *testing.T) {
+		// Lane 1 has a long burst at t=5; lane 0 reaches t=5 with a single
+		// event. Lane 0 must cut in before the whole burst, not after.
+		streams := [][]Event{
+			{ev(0, 5, 0)},
+			{ev(1, 3, 0), ev(1, 5, 1), ev(1, 5, 2), ev(1, 5, 3)},
+		}
+		checkMerge(t, "burst", streams)
+		var got Buffer
+		MergeStreams(&got, streams)
+		es := got.Events()
+		if es[1] != streams[0][0] {
+			t.Errorf("lane 0's t=5 event must precede lane 1's t=5 burst, got %+v", es[:2])
+		}
+	})
+	t.Run("cross-lane-duplicates", func(t *testing.T) {
+		// The same payload in two lanes (a broadcast observed everywhere):
+		// both copies survive, lower lane first.
+		dup := Event{Time: 4, Kind: KInstant, Name: "dup"}
+		streams := [][]Event{{dup}, {dup}, {dup}}
+		checkMerge(t, "dups", streams)
+		var got Buffer
+		MergeStreams(&got, streams)
+		if got.Len() != 3 {
+			t.Fatalf("duplicates collapsed: %d events, want 3", got.Len())
+		}
+	})
+	t.Run("empty-and-uneven-lanes", func(t *testing.T) {
+		streams := [][]Event{
+			nil,
+			{ev(1, 1, 0), ev(1, 1, 1)},
+			nil,
+			{ev(3, 0, 0), ev(3, 1, 0), ev(3, 2, 0)},
+		}
+		checkMerge(t, "uneven", streams)
+	})
+}
+
+// TestMergeStreamsChaos hammers the tie-break with adversarial random
+// streams: tiny time domains (so nearly everything collides), identical
+// events appearing in multiple lanes, and lanes of wildly different
+// lengths. The merged order must match the reference stable sort on
+// every trial.
+func TestMergeStreamsChaos(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		k := 2 + rng.Intn(7)
+		maxT := 1 + rng.Intn(4) // 1..4 distinct timestamps: constant ties
+		streams := make([][]Event, k)
+		for i := range streams {
+			n := rng.Intn(12)
+			now := int64(rng.Intn(maxT))
+			for j := 0; j < n; j++ {
+				if rng.Intn(3) == 0 {
+					now += int64(rng.Intn(maxT))
+				}
+				e := Event{Time: now, Kind: KInstant, Arg: int64(rng.Intn(2))}
+				if rng.Intn(4) == 0 {
+					e.Proc = int32(i) // sometimes lane-identifying, sometimes not
+				}
+				streams[i] = append(streams[i], e)
+			}
+		}
+		checkMerge(t, "chaos", streams)
+	}
+}

@@ -140,6 +140,26 @@ func WantsUtil(t Tracer) bool {
 	return false
 }
 
+// EdgeObserver is the opt-in capability for completion-edge events: one
+// KInstant in category CatEdge per happens-before edge the model layers
+// establish (barrier/collective arrivals and releases, lock handoffs,
+// fabric and ShardNet deliveries, fault retries, message matches). The
+// causality analyzer is the one built-in sink that asks for them; the
+// emitters skip the instants — and every argument computation feeding
+// them — unless the installed tracer implements this interface and
+// returns true, keeping the untraced hot path allocation-free.
+type EdgeObserver interface {
+	ObserveEdge() bool
+}
+
+// WantsEdge reports whether t opted into completion-edge events.
+func WantsEdge(t Tracer) bool {
+	if eo, ok := t.(EdgeObserver); ok {
+		return eo.ObserveEdge()
+	}
+	return false
+}
+
 // caps wraps a sink with additional opt-in capabilities. Capabilities the
 // wrapper does not grant itself are delegated to the wrapped sink, so
 // Clocked and Utiled compose in either order.
@@ -147,10 +167,12 @@ type caps struct {
 	Tracer
 	clock bool
 	util  bool
+	edge  bool
 }
 
 func (c caps) ObserveClock() bool { return c.clock || WantsClock(c.Tracer) }
 func (c caps) ObserveUtil() bool  { return c.util || WantsUtil(c.Tracer) }
+func (c caps) ObserveEdge() bool  { return c.edge || WantsEdge(c.Tracer) }
 
 // Clocked wraps t so engines emit per-advance KClock events into it
 // (full-fidelity mode: every clock move appears in the stream).
@@ -168,6 +190,15 @@ func Utiled(t Tracer) Tracer {
 		return nil
 	}
 	return caps{Tracer: t, util: true}
+}
+
+// Edged wraps t so the model layers emit completion-edge events into it
+// (see EdgeObserver).
+func Edged(t Tracer) Tracer {
+	if t == nil {
+		return nil
+	}
+	return caps{Tracer: t, edge: true}
 }
 
 // multi fans events out to several sinks.
@@ -194,6 +225,17 @@ func (m multi) ObserveClock() bool {
 func (m multi) ObserveUtil() bool {
 	for _, t := range m {
 		if WantsUtil(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// ObserveEdge reports whether any fanned-out sink wants completion-edge
+// events.
+func (m multi) ObserveEdge() bool {
+	for _, t := range m {
+		if WantsEdge(t) {
 			return true
 		}
 	}

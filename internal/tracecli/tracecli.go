@@ -1,6 +1,6 @@
 // Package tracecli wires the shared flags of the cmd/upc-* binaries:
-// importing it registers -trace, -digest, -metrics, -parallel and
-// -faults, and Start/Finish bracket the run. With -trace=out.json every engine the
+// importing it registers -trace, -digest, -metrics, -analyze, -parallel
+// and -faults, and Start/Finish bracket the run. With -trace=out.json every engine the
 // run creates streams into one Chrome trace-event file (open it in
 // Perfetto or chrome://tracing), and the run's TraceDigest — an
 // order-sensitive hash of the full event stream, identical across
@@ -9,7 +9,11 @@
 // stream or writing a file. With -metrics=out.json the run additionally
 // aggregates the stream into a JSON run manifest (communication matrix,
 // utilization timelines, virtual-time profile; see internal/metrics and
-// cmd/upc-metrics). With -parallel=N the experiment sweeps fan
+// cmd/upc-metrics). With -analyze=out.json the run replays the stream
+// through the causality engine and writes the wait-state / critical-path
+// analysis plus a .folded flamegraph companion (see internal/causality
+// and cmd/upc-analyze); when -metrics is also given the analysis rides
+// the manifest as its "analysis" section. With -parallel=N the experiment sweeps fan
 // independent simulations out over N worker threads; results, stdout,
 // the TraceDigest and the manifest are byte-identical at any N (see
 // internal/sweep). With -shards=N the experiments that have sharded
@@ -27,6 +31,7 @@ import (
 	"runtime"
 	"strings"
 
+	"repro/internal/causality"
 	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -50,12 +55,17 @@ var shards = flag.Int("shards", 0,
 	"run sharded-engine experiment variants with N worker threads inside each simulation "+
 		"(0 = legacy single-engine experiments; output is identical at any N >= 1)")
 
+var analyzePath = flag.String("analyze", "",
+	"write the causality analysis (wait states, blame, critical path) as JSON, "+
+		"plus a folded-stack flamegraph next to it (see cmd/upc-analyze)")
+
 var faultsPath = flag.String("faults", "",
 	"JSON fault schedule to inject into every run (see internal/fault); "+
 		"the run then exercises the self-healing comm runtime, deterministically")
 
 var sess *trace.Session
 var coll *metrics.Collection
+var rec *causality.Recorder
 
 // Start applies the shared flags: sets the sweep worker-pool width and
 // begins tracing if -trace, -digest or -metrics was given. Call after
@@ -83,7 +93,7 @@ func start() error {
 	} else {
 		fault.SetDefault(nil)
 	}
-	if *path == "" && !*digest && *metricsPath == "" {
+	if *path == "" && !*digest && *metricsPath == "" && *analyzePath == "" {
 		return nil
 	}
 	sess = trace.StartSession(*path)
@@ -98,6 +108,12 @@ func start() error {
 		// resolved per engine at creation).
 		coll = metrics.NewCollection()
 		sess.Attach(coll)
+	}
+	if *analyzePath != "" {
+		// Same ordering constraint: the recorder opts into completion-edge
+		// events, and the emitters check that capability once per engine.
+		rec = causality.NewRecorder()
+		sess.Attach(rec)
 	}
 	return nil
 }
@@ -117,8 +133,8 @@ func finish(w io.Writer) error {
 	if sess == nil {
 		return nil
 	}
-	s, c := sess, coll
-	sess, coll = nil, nil
+	s, c, r := sess, coll, rec
+	sess, coll, rec = nil, nil, nil
 	if err := s.Close(); err != nil {
 		return err
 	}
@@ -128,8 +144,21 @@ func finish(w io.Writer) error {
 		// same-seed runs (the CI determinism gate diffs it).
 		fmt.Fprintf(os.Stderr, "trace written to %s\n", *path)
 	}
+	var exp *causality.Export
+	if r != nil {
+		exp = r.Export()
+		if err := exp.WriteFile(*analyzePath); err != nil {
+			return err
+		}
+		folded := *analyzePath + ".folded"
+		if err := os.WriteFile(folded, []byte(r.FoldedText()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "analysis written to %s (flamegraph: %s)\n", *analyzePath, folded)
+	}
 	if c != nil {
 		m := c.Manifest(toolName(), runParams())
+		m.Analysis = exp
 		if err := m.WriteFile(*metricsPath); err != nil {
 			return err
 		}
@@ -161,7 +190,7 @@ func runParams() map[string]string {
 	p := map[string]string{}
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "trace", "digest", "metrics", "parallel", "shards":
+		case "trace", "digest", "metrics", "parallel", "shards", "analyze":
 			return
 		}
 		if strings.HasPrefix(f.Name, "test.") {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/fault"
+	"repro/internal/trace"
 )
 
 // TestBlockingByteOpsNoAlloc pins the fault-free blocking byte transfers
@@ -81,5 +82,65 @@ func TestChaosSoakPoolsDrain(t *testing.T) {
 	}
 	if outstanding != 0 {
 		t.Errorf("pool leak under chaos: %d records outstanding after quiescence", outstanding)
+	}
+}
+
+// TestEdgeEmissionOffNoAlloc pins the zero-cost-when-off contract of
+// the completion-edge events the causality analysis consumes: with no
+// edge-observing sink attached — the default — the gate (Runtime.edges,
+// one cached bool) stays closed and the blocking byte-transfer hot
+// path, which now carries the gated deliver/retry emission points,
+// still runs at 0 allocs/op.
+func TestEdgeEmissionOffNoAlloc(t *testing.T) {
+	var putPer, getPer float64 = -1, -1
+	edgesOn := true
+	_, err := Run(testCfg(8, 4, Processes, true), func(th *Thread) {
+		th.Barrier()
+		if th.ID == 0 {
+			edgesOn = th.Runtime().edges
+			for i := 0; i < 64; i++ {
+				th.PutBytes(4, 8)
+				th.GetBytes(4, 8)
+			}
+			putPer = testing.AllocsPerRun(200, func() { th.PutBytes(4, 8) })
+			getPer = testing.AllocsPerRun(200, func() { th.GetBytes(4, 8) })
+		}
+		th.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edgesOn {
+		t.Error("edge gate open without an edge-observing tracer")
+	}
+	if putPer != 0 {
+		t.Errorf("untraced PutBytes allocates %v allocs/op, want 0", putPer)
+	}
+	if getPer != 0 {
+		t.Errorf("untraced GetBytes allocates %v allocs/op, want 0", getPer)
+	}
+}
+
+// TestEdgeEmissionOnIsGated is the other half of the pin: an
+// edge-observing sink flips the gate on, and the same run emits the
+// barrier/lock completion edges the analysis needs — proving the off
+// path above exercised the same compiled-in emission points.
+func TestEdgeEmissionOnIsGated(t *testing.T) {
+	col := trace.NewCollector()
+	cfg := testCfg(8, 4, Processes, true)
+	cfg.Tracer = trace.Edged(col)
+	_, err := Run(cfg, func(th *Thread) {
+		if !th.Runtime().edges {
+			t.Error("edge-observing tracer did not enable emission")
+		}
+		th.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrives := col.Count(trace.CatEdge, trace.EdgeBarArrive)
+	releases := col.Count(trace.CatEdge, trace.EdgeBarRelease)
+	if arrives == 0 || releases == 0 {
+		t.Errorf("edge events missing with gate open: %d arrivals, %d releases", arrives, releases)
 	}
 }

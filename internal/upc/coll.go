@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Collective rendezvous machinery: every thread's k-th collective call
@@ -11,6 +12,7 @@ import (
 // books the release after the modeled tree cost.
 
 type collSlot struct {
+	seq     int // collective sequence number (completion-edge labels)
 	arrived int
 	present []bool // which threads contributed (faults only)
 	vals    []any
@@ -27,6 +29,7 @@ func (rt *Runtime) collSlot(seq int) *collSlot {
 	}
 	if rt.colls[seq] == nil {
 		rt.colls[seq] = &collSlot{
+			seq:     seq,
 			vals:    make([]any, rt.Cfg.Threads),
 			present: make([]bool, rt.Cfg.Threads),
 			ev:      &sim.Event{}, //upcvet:poolalloc -- one slot per collective phase, amortized over THREADS arrivals
@@ -37,10 +40,15 @@ func (rt *Runtime) collSlot(seq int) *collSlot {
 
 // fire combines the contributions received so far and books the release.
 // Under fault injection a dead thread's entry in vals stays nil; combine
-// closures skip nil entries.
-func (slot *collSlot) fire(rt *Runtime) {
+// closures skip nil entries. id is the thread whose arrival (or
+// retirement) completed the slot — the one the release edge blames.
+func (slot *collSlot) fire(rt *Runtime, id int) {
 	slot.fired = true
 	slot.result = slot.combine(slot.vals)
+	if rt.edges {
+		rt.threads[id].P.TraceInstant(trace.CatEdge, trace.EdgeBarRelease,
+			"coll", int64(slot.seq), rt.packSelf(id))
+	}
 	rt.Eng.After(rt.collCost(slot.bytes), slot.ev.Fire)
 }
 
@@ -82,15 +90,19 @@ func runCollective(t *Thread, val any, bytes int64, combine func(vals []any) any
 	slot.vals[t.ID] = val
 	slot.present[t.ID] = true
 	slot.arrived++
+	if rt.edges {
+		t.P.TraceInstant(trace.CatEdge, trace.EdgeBarArrive,
+			"coll", int64(slot.seq), rt.packSelf(t.ID))
+	}
 	if slot.combine == nil {
 		slot.combine, slot.bytes = combine, bytes
 	}
 	if !rt.faultsOn() {
 		if slot.arrived == t.N {
-			slot.fire(rt)
+			slot.fire(rt, t.ID)
 		}
 	} else if !slot.fired && slot.complete(rt) {
-		slot.fire(rt)
+		slot.fire(rt, t.ID)
 	}
 	slot.ev.Wait(t.P)
 	end()

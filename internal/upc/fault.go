@@ -59,10 +59,10 @@ func (t *Thread) Retire() {
 	rt.dead[t.ID] = true
 	rt.nDead++
 	t.FaultEvent("retire", t.ID, 0)
-	rt.bar.maybeRelease(rt)
+	rt.bar.maybeRelease(rt, t.ID)
 	for _, slot := range rt.colls {
 		if slot != nil && !slot.fired && slot.combine != nil && slot.complete(rt) {
-			slot.fire(rt)
+			slot.fire(rt, t.ID)
 		}
 	}
 }
@@ -138,6 +138,10 @@ func (t *Thread) reliableWait(opName string, peer int, bytes int64,
 			return nil, t.commError(opName, peer, attempts, fault.ErrNodeDown)
 		}
 		t.FaultEvent("retry", peer, bytes)
+		if t.rt.edges {
+			t.P.TraceInstant(trace.CatEdge, trace.EdgeRetry, opName, int64(attempts),
+				trace.PackEndpoints(t.ID, peer, t.Place.Node, t.rt.places[peer].Node))
+		}
 		// Abandon the timed-out op before reissuing: dropping the hold lets
 		// its pooled record recycle once any in-flight legs (a delayed
 		// original, an injected duplicate) drain. Nothing reads it again —

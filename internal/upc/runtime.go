@@ -106,6 +106,10 @@ type Runtime struct {
 	nodesUsed int
 	barCost   sim.Duration
 	bar       *phaseBarrier
+	// edges is true when the installed tracer opted into completion-edge
+	// instants (trace.EdgeObserver); cached once so the hot paths pay a
+	// single bool test.
+	edges     bool
 	allocs    []*sharedShape
 	nextArray uint32 // shared-array ids for translation-cache keys
 	xlate     xlateCosts
@@ -191,6 +195,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		eps:     make([]*fabric.Endpoint, cfg.Threads),
 		dead:    make([]bool, cfg.Threads),
 	}
+	rt.edges = trace.WantsEdge(eng.Tracer())
 	sched := cfg.Faults
 	if sched == nil {
 		sched = fault.Default()
@@ -260,6 +265,13 @@ func (rt *Runtime) Start(main func(t *Thread)) {
 			t.flushXlateCounters()
 		})
 	}
+}
+
+// packSelf packs thread id's identity (thread and node on both ends)
+// into a completion-edge Arg2 (see trace.CatEdge).
+func (rt *Runtime) packSelf(id int) int64 {
+	n := rt.places[id].Node
+	return trace.PackEndpoints(id, id, n, n)
 }
 
 // Thread reports thread i's context (valid after NewRuntime).

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // phaseBarrier implements both upc_barrier and the split-phase
@@ -16,6 +17,7 @@ import (
 type phaseBarrier struct {
 	n        int
 	notified int
+	seq      int64  // generation sequence number (completion-edge labels)
 	inGen    []bool // which threads notified this generation (faults only)
 	ev       *sim.Event
 }
@@ -30,22 +32,27 @@ func newPhaseBarrier(n int) *phaseBarrier {
 func (b *phaseBarrier) notify(rt *Runtime, id int) *sim.Event {
 	ev := b.ev
 	b.notified++
+	if rt.edges {
+		rt.threads[id].P.TraceInstant(trace.CatEdge, trace.EdgeBarArrive,
+			"barrier", b.seq, rt.packSelf(id))
+	}
 	if !rt.faultsOn() {
 		// Fast path: no per-thread bookkeeping, a bare counter.
 		if b.notified == b.n {
-			b.release(rt)
+			b.release(rt, id)
 		}
 		return ev
 	}
 	b.inGen[id] = true
-	b.maybeRelease(rt)
+	b.maybeRelease(rt, id)
 	return ev
 }
 
 // maybeRelease fires the generation once every live thread has notified.
 // Called on each arrival and again when a thread retires mid-generation,
-// which may be exactly what completes it.
-func (b *phaseBarrier) maybeRelease(rt *Runtime) {
+// which may be exactly what completes it; id is the thread whose arrival
+// or retirement triggered the check.
+func (b *phaseBarrier) maybeRelease(rt *Runtime, id int) {
 	if b.notified == 0 {
 		return
 	}
@@ -54,17 +61,24 @@ func (b *phaseBarrier) maybeRelease(rt *Runtime) {
 			return
 		}
 	}
-	b.release(rt)
+	b.release(rt, id)
 }
 
 // release fires the current generation after the dissemination cost and
-// opens the next one.
-func (b *phaseBarrier) release(rt *Runtime) {
+// opens the next one. id is the last arriver (or the retiring thread
+// whose departure completed the generation) — the thread the release
+// edge blames for every other waiter's delay.
+func (b *phaseBarrier) release(rt *Runtime, id int) {
 	ev := b.ev
 	b.notified = 0
 	for i := range b.inGen {
 		b.inGen[i] = false
 	}
+	if rt.edges {
+		rt.threads[id].P.TraceInstant(trace.CatEdge, trace.EdgeBarRelease,
+			"barrier", b.seq, rt.packSelf(id))
+	}
+	b.seq++
 	b.ev = &sim.Event{} //upcvet:poolalloc -- one event per barrier generation, amortized over THREADS waiters
 	rt.Eng.After(rt.barCost, ev.Fire)
 }
@@ -77,7 +91,11 @@ type Lock struct {
 	rt   *Runtime
 	home int
 	held bool
-	q    sim.WaitQueue
+	// lastHolder is the thread whose Unlock most recently took effect, or
+	// -1 before the first release — the thread a contended acquisition's
+	// lock-grant edge blames.
+	lastHolder int
+	q          sim.WaitQueue
 }
 
 // AllocLock collectively creates a lock homed on the given thread
@@ -88,7 +106,7 @@ func AllocLock(t *Thread, home int) *Lock {
 	}
 	t.Barrier()
 	rec := t.rt.allocRecord(t.allocSeq, 1, 1, home+1, func() any {
-		return &Lock{rt: t.rt, home: home}
+		return &Lock{rt: t.rt, home: home, lastHolder: -1}
 	})
 	t.allocSeq++
 	l, ok := rec.(*Lock)
@@ -121,10 +139,17 @@ func (l *Lock) controlCost(t *Thread) {
 func (l *Lock) Lock(t *Thread) {
 	end := t.P.TraceSpanArg("upc", "lock", "", int64(l.home))
 	l.controlCost(t) // request travels to the home
+	waited := false
 	for l.held {
+		waited = true
 		l.q.Wait(t.P, "upc-lock")
 	}
 	l.held = true
+	if l.rt.edges && waited && l.lastHolder >= 0 {
+		t.P.TraceInstant(trace.CatEdge, trace.EdgeLockGrant, "", int64(l.home),
+			trace.PackEndpoints(l.lastHolder, t.ID,
+				l.rt.places[l.lastHolder].Node, t.Place.Node))
+	}
 	l.controlCost(t) // grant travels back
 	end()
 }
@@ -166,8 +191,10 @@ func (l *Lock) Unlock(t *Thread) {
 	}
 	t.P.Advance(cond.SendOverhead / 2) // local injection cost
 	t.P.TraceInstant("upc", "unlock", "", int64(l.home), 0)
+	tid := t.ID
 	l.rt.Eng.After(oneWay, func() {
 		l.held = false
+		l.lastHolder = tid
 		l.q.WakeOne()
 	})
 }
