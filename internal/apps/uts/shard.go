@@ -61,6 +61,17 @@ type shardRun struct {
 	rp      fault.RetryPolicy
 	xfer    sim.Duration // transfer estimate for retransmission timeouts
 
+	// Churn recovery (crash-with-revive schedules). orphans is the
+	// lane-0 adoption pool: dying workers will their unfinished nodes to
+	// lane 0 over the reliable control plane, and lane-0 workers adopt
+	// them like the legacy orphan queue. quietAfter is the end of the
+	// last outage window — the coordinator refuses to conclude before
+	// it, so the closing barrier (whose control messages a down lane
+	// would drop) never races an outage.
+	churn      bool
+	quietAfter sim.Time
+	orphans    []Node // lane-0 context only
+
 	// Coordinator state: lane-0 context only.
 	laneIdle  []bool
 	snapQuiet []bool
@@ -89,7 +100,23 @@ type laneState struct {
 	sharedAvail int64 // nodes in this lane's steal regions
 	sentNodes   int64 // nodes shipped to thieves on other lanes
 	recvNodes   int64 // nodes landed from victims on other lanes
+
+	// Churn recovery. crashed mirrors the lane's outage state (set by
+	// the lane-transition observer, in this lane's context); workers
+	// that notice it orphan their work and park dead until the revival
+	// transition clears them. idleFlagged mirrors the last idle report
+	// posted to the coordinator so dead workers can stand in for idle
+	// ones without double-reporting.
+	crashed     bool
+	deadWorkers int
+	idleFlagged bool
+	reviveQ     sim.WaitQueue
 }
+
+// fullIdle reports whether every worker of the lane is parked — idle or
+// dead. Dead workers hold no work (they willed it away), so for the
+// termination protocol they count as idle.
+func (ls *laneState) fullIdle() bool { return ls.idle+ls.deadWorkers == len(ls.workers) }
 
 // victimRef names one steal target anywhere in the machine.
 type victimRef struct {
@@ -116,7 +143,9 @@ type shardWorker struct {
 
 	inbox    []Node // landing slot for one remote steal's payload
 	failures int
-	cursor   int // persistent probe cursor on the remote ring
+	cursor   int  // persistent probe cursor on the remote ring
+	dead     bool // parked in die() awaiting the revival transition
+	reborn   bool // has rejoined at least once (tags steals_rejoined)
 	count    int64
 	deepest  uint32
 	c        perf.Counters
@@ -127,9 +156,12 @@ type shardWorker struct {
 }
 
 // RunSharded executes the benchmark on the sharded engine and verifies
-// the traversal against the sequential node count. Crash schedules are
-// rejected: the sharded traversal retries lost messages but does not
-// model work re-rooting (run crash studies on the legacy engine).
+// the traversal against the sequential node count. Crash-with-revive
+// (churn) schedules are recovered: a crashed lane's workers will their
+// unfinished nodes to the lane-0 orphan pool and rejoin at the revival
+// transition, and the traversal still visits every node exactly once.
+// Permanent crashes and crashes of node 0 are rejected (run those on
+// the legacy engine).
 func RunSharded(cfg Config) (Result, error) {
 	if cfg.Machine == nil {
 		cfg.Machine = topo.Pyramid()
@@ -166,10 +198,25 @@ func RunSharded(cfg Config) (Result, error) {
 		// process default, so the CLI's -faults flag reaches sharded runs.
 		cfg.Faults = fault.Default()
 	}
+	var quietAfter sim.Time
 	if cfg.Faults != nil {
 		for _, a := range cfg.Faults.Actions {
-			if a.Op == fault.OpCrash {
-				return Result{}, fmt.Errorf("uts: sharded traversal does not model crash recovery (run crash schedules on the legacy engine)")
+			if a.Op != fault.OpCrash {
+				continue
+			}
+			// Churn (crash-with-revive) is recovered: dying workers will
+			// their work to the lane-0 orphan pool and rejoin at the
+			// revival transition. A permanent crash would strand the
+			// closing barrier, and lane 0 hosts the coordinator and the
+			// orphan pool, so both shapes are rejected up front.
+			if a.Until == 0 {
+				return Result{}, fmt.Errorf("uts: sharded crash at node %d needs until_s (permanent crashes strand the closing barrier; run them on the legacy engine)", a.Node)
+			}
+			if a.Node == 0 {
+				return Result{}, fmt.Errorf("uts: sharded crash schedules must spare node 0 (it hosts the termination coordinator and the orphan pool)")
+			}
+			if t := sim.Time(sim.FromSeconds(a.Until)); t > quietAfter {
+				quietAfter = t
 			}
 		}
 	}
@@ -199,11 +246,33 @@ func RunSharded(cfg Config) (Result, error) {
 		snapSent:  make([]int64, lanes),
 		snapRecv:  make([]int64, lanes),
 	}
+	r.churn = quietAfter > 0
+	r.quietAfter = quietAfter
 	// Timeout scale: one response worth of a rapid-diffusion steal.
 	r.xfer = 2*cond.Lookahead() + sim.TransferTime(int64(cfg.Capacity/2)*NodeBytes, cond.ConnBW)
 
 	for l := 0; l < lanes; l++ {
 		r.lanes[l] = newLaneState(r, l)
+	}
+	if r.churn {
+		// Lane transitions run in the affected lane's own context: the
+		// down edge flags the lane so its workers orphan their work and
+		// park; the up edge reincarnates them (counter bumps happen on
+		// the workers' own stacks after they wake, not here).
+		g.OnLaneTransition(func(lane int, down bool) {
+			ls := r.lanes[lane]
+			if down {
+				ls.crashed = true
+				ls.q.WakeAll() // idle workers wake to notice and die
+				return
+			}
+			ls.crashed = false
+			ls.deadWorkers = 0
+			for _, w := range ls.workers {
+				w.dead = false
+			}
+			ls.reviveQ.WakeAll()
+		})
 	}
 	for _, ls := range r.lanes {
 		for _, w := range ls.workers {
@@ -325,15 +394,27 @@ func (w *shardWorker) spawn() {
 // loop in uts.go.
 func (w *shardWorker) run() {
 	ls := w.ls
+	churn := ls.run.churn
 	for {
 		for w.depth() > 0 {
+			if churn && ls.crashed {
+				w.die()
+				break
+			}
 			w.processBatch()
 			w.maybeRelease()
 		}
 		if ls.done {
 			return
 		}
+		if churn && ls.crashed {
+			w.die()
+			continue
+		}
 		if w.acquireOwn() {
+			continue
+		}
+		if ls.lane == 0 && w.acquireOrphans() {
 			continue
 		}
 		t0 := w.p.Now()
@@ -445,6 +526,73 @@ func (w *shardWorker) acquireOwn() bool {
 	return true
 }
 
+// die is the sharded failover: the worker sweeps everything it holds —
+// private stack, steal region, a landed-but-unconsumed steal payload —
+// into a will, ships the will to the lane-0 orphan pool on the reliable
+// control plane (a down lane's NIC still drains already-committed
+// sends; only inbound traffic dies with the lane), and parks dead until
+// the revival transition. Shipped nodes are booked sent-here/
+// received-at-lane-0 so the termination wave keeps balancing. On wake
+// it rejoins: probe state resets and subsequent steals are tagged
+// steals_rejoined.
+func (w *shardWorker) die() {
+	ls := w.ls
+	r := ls.run
+	will := append([]Node(nil), w.local[w.head:]...)
+	will = append(will, w.shared[w.base:w.base+w.avail]...)
+	will = append(will, w.inbox...)
+	w.local, w.head = w.local[:0], 0
+	ls.sharedAvail -= w.avail
+	w.base, w.avail = 0, 0
+	w.inbox = nil
+	w.bump("failovers", 1)
+	w.p.TraceInstant("uts", "failover", "shard", int64(len(will)), int64(w.gid))
+	w.dead = true
+	ls.deadWorkers++
+	if k := int64(len(will)); k > 0 {
+		ls.sentNodes += k
+		ls0 := r.lanes[0]
+		ls.port.Post(w.p, 0, k*NodeBytes, func() {
+			r.orphans = append(r.orphans, will...)
+			ls0.recvNodes += k
+			ls0.q.WakeAll() // idle lane-0 workers can adopt now
+		})
+	}
+	if ls.fullIdle() && !ls.idleFlagged {
+		ls.reportIdle(w.p, true)
+	}
+	for w.dead {
+		ls.reviveQ.Wait(w.p, "uts-revive")
+	}
+	// Revived: the first worker awake retracts the lane's idle report.
+	if ls.idleFlagged {
+		ls.reportIdle(w.p, false)
+	}
+	w.reborn = true
+	w.failures = 0
+	w.cursor = 0
+	w.bump("rejoins", 1)
+	w.p.TraceInstant("uts", "rejoin", "shard", 0, int64(w.gid))
+}
+
+// acquireOrphans adopts a chunk of the lane-0 orphan pool, the sharded
+// analogue of the legacy orphan queue (lane-0 workers only).
+func (w *shardWorker) acquireOrphans() bool {
+	r := w.ls.run
+	if len(r.orphans) == 0 {
+		return false
+	}
+	k := 2 * r.cfg.Granularity
+	if k > len(r.orphans) {
+		k = len(r.orphans)
+	}
+	w.local = append(w.local, r.orphans[:k]...)
+	r.orphans = r.orphans[k:]
+	w.charge(int64(k) * NodeBytes)
+	w.bump("orphans_taken", int64(k))
+	return true
+}
+
 // takeFront removes up to one strategy-sized chunk from the front of
 // victim's region — the oldest, shallowest entries whose subtrees are
 // largest — and returns a private copy. Yield-free; runs in the
@@ -521,6 +669,9 @@ func (w *shardWorker) tryLocal(worker int) bool {
 	w.bump("steals", 1)
 	w.bump("steals_local", 1)
 	w.bump("stolen_nodes", k)
+	if w.reborn {
+		w.bump("steals_rejoined", 1)
+	}
 	w.p.TraceInstant("uts", "steal", "local", k, int64(victim.gid))
 	return true
 }
@@ -531,6 +682,15 @@ func (w *shardWorker) tryLocal(worker int) bool {
 func (w *shardWorker) tryRemote(v victimRef) bool {
 	ls := w.ls
 	r := ls.run
+	if r.churn && r.g.LaneDown(v.lane, w.p.Now()) {
+		// The victim's lane is inside an outage window: its workers have
+		// willed their work away, so the probe cannot succeed — and the
+		// RPC would stall here until the reincarnation. Count it as a
+		// failed probe and move down the ring.
+		w.bump("probes", 1)
+		w.bump("probes_failed", 1)
+		return false
+	}
 	w.bump("probes", 1)
 	w.inbox = nil
 	arg := int64(v.worker) | int64(w.id)<<16
@@ -546,6 +706,9 @@ func (w *shardWorker) tryRemote(v victimRef) bool {
 	k := int64(len(got))
 	w.bump("steals", 1)
 	w.bump("stolen_nodes", k)
+	if w.reborn {
+		w.bump("steals_rejoined", 1)
+	}
 	w.p.TraceInstant("uts", "steal", "remote", k, int64(v.lane*r.perNode+v.worker))
 	return true
 }
@@ -570,9 +733,12 @@ func (ls *laneState) serveSteal(src int, arg int64) (int64, func()) {
 	}
 }
 
-// serveStatus snapshots this lane for the termination wave.
+// serveStatus snapshots this lane for the termination wave. A down lane
+// cannot serve (inbound requests die with it), so a wave that overlaps
+// an outage simply stalls in CallRetry until the lane reincarnates —
+// the coordinator cannot conclude past a crashed lane.
 func (ls *laneState) serveStatus(src int, arg int64) (int64, func()) {
-	quiet := ls.idle == len(ls.workers) && ls.sharedAvail == 0
+	quiet := ls.fullIdle() && ls.sharedAvail == 0
 	sent, recv := ls.sentNodes, ls.recvNodes
 	r, lane := ls.run, ls.lane
 	return statusSize, func() {
@@ -589,7 +755,7 @@ func (ls *laneState) serveStatus(src int, arg int64) (int64, func()) {
 func (w *shardWorker) enterIdle() bool {
 	ls := w.ls
 	ls.idle++
-	if ls.idle == len(ls.workers) {
+	if ls.fullIdle() && !ls.idleFlagged {
 		ls.reportIdle(w.p, true)
 	}
 	for {
@@ -597,7 +763,11 @@ func (w *shardWorker) enterIdle() bool {
 			ls.idle--
 			return true
 		}
-		if ls.sharedAvail > 0 {
+		if ls.crashed {
+			w.leaveIdle() // the run loop notices and dies
+			return false
+		}
+		if ls.sharedAvail > 0 || (ls.lane == 0 && len(ls.run.orphans) > 0) {
 			w.leaveIdle()
 			return false
 		}
@@ -615,7 +785,7 @@ func (w *shardWorker) enterIdle() bool {
 
 func (w *shardWorker) leaveIdle() {
 	ls := w.ls
-	if ls.idle == len(ls.workers) {
+	if ls.fullIdle() && ls.idleFlagged {
 		ls.reportIdle(w.p, false)
 	}
 	ls.idle--
@@ -623,10 +793,12 @@ func (w *shardWorker) leaveIdle() {
 
 // reportIdle posts this lane's idle transition to the coordinator.
 // Posts from one lane arrive in order, so the coordinator's flag always
-// reflects the lane's latest transition.
+// reflects the lane's latest transition. idleFlagged mirrors the last
+// report synchronously, so concurrent wakers post each edge once.
 func (ls *laneState) reportIdle(p *sim.Proc, idle bool) {
 	r := ls.run
 	lane := ls.lane
+	ls.idleFlagged = idle
 	ls.port.Post(p, 0, reportSize, func() {
 		r.laneIdle[lane] = idle
 		if idle && r.allIdleFlags() {
@@ -657,7 +829,7 @@ func (r *shardRun) coordinate(p *sim.Proc) {
 			r.coordQ.Wait(p, "uts-coord")
 		}
 		ls0 := r.lanes[0]
-		r.snapQuiet[0] = ls0.idle == len(ls0.workers) && ls0.sharedAvail == 0
+		r.snapQuiet[0] = ls0.fullIdle() && ls0.sharedAvail == 0 && len(r.orphans) == 0
 		r.snapSent[0], r.snapRecv[0] = ls0.sentNodes, ls0.recvNodes
 		for l := 1; l < len(r.lanes); l++ {
 			pt.CallRetry(p, r.perNode, l, opStatus, 0, reportSize, to)
@@ -668,6 +840,14 @@ func (r *shardRun) coordinate(p *sim.Proc) {
 			quiet = quiet && r.snapQuiet[l]
 			sent += r.snapSent[l]
 			recv += r.snapRecv[l]
+		}
+		if quiet && sent == recv && p.Now() < r.quietAfter {
+			// All drained, but an outage window is still open: a lane
+			// due to crash would drop the done broadcast and the closing
+			// barrier's control traffic. Hold the verdict until the last
+			// revival has passed.
+			p.Advance(coordBackoff)
+			continue
 		}
 		if quiet && sent == recv {
 			for l := 1; l < len(r.lanes); l++ {

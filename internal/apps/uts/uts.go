@@ -110,6 +110,9 @@ type global struct {
 	// stack remainder plus their shared steal region), awaiting adoption
 	// by survivors.
 	orphans []Node
+	// ringGen counts membership changes (rejoins): workers whose probe
+	// rings lag it rebuild them, re-admitting reincarnated victims.
+	ringGen int
 }
 
 // Run executes the benchmark and verifies the traversal against the
@@ -161,6 +164,13 @@ func Run(cfg Config) (Result, error) {
 	var start, stop sim.Time
 	_, err := upc.Run(ucfg, func(t *upc.Thread) {
 		w := newWorker(t, &cfg, g)
+		if t.ID == 0 && t.Runtime().FaultsOn() {
+			// Wake every idle-parked worker at each crash/revive edge:
+			// a worker sleeping through its own node's whole outage would
+			// otherwise never observe Failed and skip the failover/rejoin
+			// protocol entirely.
+			t.Runtime().OnNodeTransition(func(int, bool) { g.q.WakeAll() })
+		}
 		t.Barrier()
 		if t.ID == 0 {
 			start = t.Now()
@@ -233,7 +243,9 @@ type worker struct {
 	cursor   int    // persistent probe position within victims
 	count    int64
 	deepest  uint32
-	dead     bool // this worker's node crashed and it retired
+	dead     bool // this worker's node crashed and it retired for good
+	reborn   bool // this worker rejoined after a scheduled revival
+	ringGen  int  // membership generation the probe rings reflect
 	c        perf.Counters
 
 	victims []int // baseline: full probe ring
@@ -285,27 +297,38 @@ func (w *worker) probeOrder() {
 }
 
 // run is the Figure 3.2 state machine, extended with crash detection at
-// its loop boundaries when a fault schedule is installed.
+// its loop boundaries when a fault schedule is installed. A worker whose
+// node the schedule revives parks inside die and rejoins the traversal
+// (see die); only permanent crashes return early.
 func (w *worker) run() {
 	faults := w.t.Runtime().FaultsOn()
 	for {
 		for w.depth() > 0 {
 			if faults && w.t.Failed() {
-				w.die()
-				return
+				if w.die() {
+					return
+				}
+				break // stack was orphaned; restart the acquisition path
 			}
 			w.processBatch()
 			w.maybeRelease()
 		}
 		if faults && w.t.Failed() {
-			w.die()
-			return
+			if w.die() {
+				return
+			}
+			continue
 		}
 		if w.acquireOwn() {
 			continue
 		}
 		if faults && w.acquireOrphans() {
 			continue
+		}
+		if faults && w.ringGen != w.g.ringGen {
+			// A peer rejoined since this worker built its probe rings:
+			// rebuild them so the reincarnated victim is probed again.
+			w.rebuildRings()
 		}
 		t0 := w.t.Now()
 		ok := w.stealSweep()
@@ -331,14 +354,17 @@ func (w *worker) run() {
 
 func (w *worker) depth() int { return len(w.local) - w.head }
 
-// die retires a worker whose node crashed: its unfinished work — the
+// die handles a worker whose node crashed: its unfinished work — the
 // private stack remainder plus its shared steal region — is re-rooted
 // into the global orphan pool for the survivors to adopt. (The steal
 // regions are modeled as replicated queue state the runtime can recover;
 // survivors pay the failover pull when they adopt, see acquireOrphans.)
-// The worker then leaves the barrier/collective population.
-func (w *worker) die() {
-	w.dead = true
+// The worker then leaves the barrier/collective population. When the
+// schedule revives the node, the worker parks for the rebirth and
+// rejoins the traversal — reporting false so run continues; a permanent
+// crash (or a revival after the survivors finished) retires it for good
+// and reports true.
+func (w *worker) die() bool {
 	t := w.t
 	g := w.g
 	orphans := append([]Node(nil), w.local[w.head:]...)
@@ -356,6 +382,49 @@ func (w *worker) die() {
 	t.FaultEvent("failover", t.ID, int64(len(orphans))*NodeBytes)
 	t.Retire()
 	g.q.WakeAll() // survivors re-check termination and find the orphans
+	if !t.ReviveScheduled() {
+		w.dead = true
+		return true
+	}
+	t.AwaitRevive()
+	if g.done {
+		// The survivors finished while this node was down: stay retired
+		// and skip the closing barrier (its generation has already been
+		// sized to the survivor population).
+		w.dead = true
+		return true
+	}
+	w.rejoin()
+	return false
+}
+
+// rejoin re-enters a revived worker into the traversal: runtime
+// membership first (barrier population, checkpoint restore), then the
+// application's own structures — fresh backoff state and a membership
+// bump so every worker rebuilds its probe rings around the rejoiner.
+func (w *worker) rejoin() {
+	t := w.t
+	t.Rejoin()
+	w.reborn = true
+	w.failures = 0
+	w.bump("rejoins", 1)
+	w.g.ringGen++
+	w.rebuildRings()
+	w.g.q.WakeAll() // idle survivors re-count the live population
+}
+
+// rebuildRings rebuilds the probe rings from the current membership:
+// the strategy's full ring order, minus currently-dead victims.
+func (w *worker) rebuildRings() {
+	w.victims, w.vLocal, w.vRemote = nil, nil, nil
+	w.cursor = 0
+	w.ringGen = w.g.ringGen
+	w.probeOrder()
+	for v := 0; v < w.t.N; v++ {
+		if v != w.t.ID && !w.t.Alive(v) {
+			w.strike(v)
+		}
+	}
 }
 
 // acquireOrphans adopts a chunk of re-rooted work from crashed workers,
@@ -496,9 +565,15 @@ func (w *worker) acquireOwn() bool {
 // stealSweep probes victims in strategy order; it reports whether any
 // work was obtained.
 func (w *worker) stealSweep() bool {
+	faults := w.t.Runtime().FaultsOn()
 	// Locality strategies: scan the whole node group first, every sweep
 	// (probes through the cast table are nearly free).
 	for _, v := range w.vLocal {
+		if faults && w.t.Failed() {
+			// Died mid-sweep: bail at a victim boundary (no lock held) so
+			// the run loop can retire this worker through die.
+			return false
+		}
 		if w.tryVictim(v) {
 			return true
 		}
@@ -508,6 +583,9 @@ func (w *worker) stealSweep() bool {
 		ring = w.vRemote
 	}
 	for i := 0; i < len(ring); i++ {
+		if faults && w.t.Failed() {
+			return false
+		}
 		// The probe cursor persists across sweeps: a victim that supplied
 		// work stays first in line, and empty victims are not rescanned
 		// on every sweep.
@@ -602,6 +680,11 @@ func (w *worker) tryVictim(v int) bool {
 	w.locks[v].Unlock(t)
 	w.bump("steals", 1)
 	w.bump("stolen_nodes", k)
+	if w.reborn {
+		// A post-revival steal: the rejoined node is pulling its share of
+		// the live traversal again (the churn acceptance metric).
+		w.bump("steals_rejoined", 1)
+	}
 	loc := "remote"
 	if t.Distance(v) != topo.LevelRemote {
 		w.bump("steals_local", 1)

@@ -31,7 +31,7 @@ func (r *run) waitCat(ps *procState, w *wait) string {
 		return CatPSHM
 	case ClassCommLoop, ClassCommNet:
 		return CatNetwork
-	case ClassFaultRetry:
+	case ClassFaultRetry, ClassCkpt, ClassRejoin:
 		return CatFault
 	case ClassBarrier, ClassCollective, ClassLock, ClassLateSender:
 		if w.blamedNode >= 0 && ps.node >= 0 && w.blamedNode == ps.node {

@@ -39,6 +39,8 @@ const (
 	ClassCommLoop   = "comm-loopback"
 	ClassCommNet    = "comm-network"
 	ClassFaultRetry = "fault-retry"
+	ClassCkpt       = "ckpt"
+	ClassRejoin     = "rejoin"
 	ClassLateSender = "late-sender"
 	ClassIdle       = "idle"
 	ClassOther      = "other"
@@ -263,6 +265,28 @@ func (r *run) edge(e trace.Event) {
 			w.class = ClassLateSender
 			w.blamedThread, w.blamedNode = src, srcNode
 		}
+	case trace.EdgeCkpt:
+		// The checkpointing thread just finished shipping its replica to
+		// the buddy: the preceding transfer wait is checkpoint overhead,
+		// blamed on the buddy holding the replica.
+		ps := r.proc(e.Proc)
+		owner, buddy, ownerNode, buddyNode := trace.UnpackEndpoints(e.Arg2)
+		r.learn(ps, owner, ownerNode)
+		if w := ps.lastWait(); w != nil && w.end <= e.Time {
+			w.class = ClassCkpt
+			w.blamedThread, w.blamedNode = buddy, buddyNode
+		}
+	case trace.EdgeRejoin:
+		// A reincarnated thread re-entered membership: the restore pull
+		// that preceded this edge is recovery time, blamed on the replica
+		// holder the state came back from.
+		ps := r.proc(e.Proc)
+		buddy, rejoiner, buddyNode, rejoinerNode := trace.UnpackEndpoints(e.Arg2)
+		r.learn(ps, rejoiner, rejoinerNode)
+		if w := ps.lastWait(); w != nil && w.end <= e.Time {
+			w.class = ClassRejoin
+			w.blamedThread, w.blamedNode = buddy, buddyNode
+		}
 	case trace.EdgeDeliver:
 		r.delivers++
 		r.deliverB += e.Arg
@@ -329,6 +353,9 @@ func (r *run) classify(ps *procState, w *wait) {
 			case "lock":
 				w.class = ClassLock // blame attached by the grant edge
 				return
+			case "ckpt":
+				w.class = ClassCkpt // blame attached by the ckpt edge
+				return
 			}
 		case "sim":
 			switch sp.name {
@@ -350,6 +377,12 @@ func (r *run) classify(ps *procState, w *wait) {
 		return
 	case "uts-idle", "mailbox":
 		w.class = ClassIdle
+		return
+	case "upc-revive", "uts-revive":
+		// A dead worker parked for its node's scheduled revival: the whole
+		// outage is a fault-category wait, blamed on the rejoin edge when
+		// one fires.
+		w.class = ClassRejoin
 		return
 	}
 	// Event waits: an "event"/"event-timeout" park issued right after a

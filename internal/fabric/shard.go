@@ -358,6 +358,15 @@ func (pt *ShardPort) call(p *sim.Proc, caller, dst, op int, arg, reqSize int64, 
 				// Response and timer landed on the same tick.
 				break
 			}
+			if g.LaneDown(src, p.Now()) {
+				// The caller's own lane is inside an outage window: its NIC
+				// is dead, and a request leaving it could commit work at the
+				// victim whose response can never land here. Stay silent;
+				// the first timeout after the reincarnation resumes
+				// retransmission, and the target's reply cache re-delivers
+				// anything the previous life's request already committed.
+				continue
+			}
 			pt.inject(p, reqSize)
 			if done.Fired() {
 				// The response arrived while we were re-paying the send gap.

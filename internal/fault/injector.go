@@ -20,6 +20,16 @@ type Injector struct {
 	sched *Schedule
 	down  []bool // per node
 	rules []rule // message-level rules, in schedule order
+
+	// Membership-epoch state (see DESIGN §15): epoch is the cluster-wide
+	// view number, bumped on every crash AND every revival; inc counts
+	// each node's completed reincarnations (bumped on revival only).
+	// Runtimes stamp one-sided operations with the incarnations of both
+	// endpoints at issue time and drop the payload at delivery when
+	// either changed, so a node's previous life cannot corrupt its next.
+	epoch   int64
+	inc     []int64
+	onTrans []func(node int, down bool)
 }
 
 // rule is one message-level action plus its activation state, toggled by
@@ -41,7 +51,8 @@ func Install(cl *fabric.Cluster, sched *Schedule) (*Injector, error) {
 		return nil, err
 	}
 	eng := cl.Eng
-	inj := &Injector{eng: eng, cl: cl, sched: sched, down: make([]bool, cl.Mach.Nodes)}
+	inj := &Injector{eng: eng, cl: cl, sched: sched,
+		down: make([]bool, cl.Mach.Nodes), inc: make([]int64, cl.Mach.Nodes)}
 	for i := range sched.Actions {
 		a := &sched.Actions[i]
 		switch a.Op {
@@ -118,17 +129,66 @@ func (inj *Injector) at(s float64, fn func()) {
 	inj.eng.After(sim.FromSeconds(s)-sim.Duration(inj.eng.Now()), fn)
 }
 
-// setDown records a crash or revival and emits the visibility event.
+// setDown records a crash or revival, advances the membership epoch,
+// emits the visibility event, and notifies transition observers. Runs in
+// engine context at the scheduled virtual time, so every observer sees a
+// consistent (down, epoch, incarnation) triple.
 func (inj *Injector) setDown(node int, down bool) {
 	inj.down[node] = down
+	inj.epoch++
 	name := "revive"
 	if down {
 		name = "crash"
+	} else {
+		inj.inc[node]++
 	}
 	if inj.eng.Tracing() {
-		inj.eng.TraceInstant(trace.CatComm, name, trace.ClassFault, 0,
+		inj.eng.TraceInstant(trace.CatComm, name, trace.ClassFault, inj.epoch,
 			trace.PackEndpoints(0, 0, node, node))
 	}
+	for _, fn := range inj.onTrans {
+		fn(node, down)
+	}
+}
+
+// Epoch reports the current membership view number: the count of
+// crash/revive transitions so far. Stamp it on control traffic that must
+// be fenced against reincarnation.
+func (inj *Injector) Epoch() int64 { return inj.epoch }
+
+// Incarnation reports how many completed reincarnations node has had: 0
+// for its original life, bumped at each revival. An operation whose
+// endpoint incarnations at delivery differ from those at issue is stale.
+func (inj *Injector) Incarnation(node int) int64 {
+	if node < 0 || node >= len(inj.inc) {
+		return 0
+	}
+	return inj.inc[node]
+}
+
+// OnTransition registers an observer of crash/revive transitions, run in
+// engine context immediately after the injector's own state flips.
+// Runtimes use it to wake threads parked for a revival. Register before
+// the engine runs.
+func (inj *Injector) OnTransition(fn func(node int, down bool)) {
+	inj.onTrans = append(inj.onTrans, fn)
+}
+
+// WillRevive reports whether the schedule revives node after the current
+// virtual time — i.e. whether a thread parked for the node's rebirth is
+// guaranteed a wake-up. Threads must check it before awaiting a revival:
+// the revive event is pre-booked at Install, so a true answer means the
+// wake is already in the event queue.
+func (inj *Injector) WillRevive(node int) bool {
+	now := inj.eng.Now()
+	for i := range inj.sched.Actions {
+		a := &inj.sched.Actions[i]
+		if a.Op == OpCrash && a.Node == node && a.Until > 0 &&
+			sim.Time(sim.FromSeconds(a.Until)) > now {
+			return true
+		}
+	}
+	return false
 }
 
 // event emits a link-action visibility instant.

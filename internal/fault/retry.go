@@ -14,6 +14,12 @@ var (
 	ErrTimeout = errors.New("timed out")
 	// ErrNodeDown marks an operation whose peer's node is crashed.
 	ErrNodeDown = errors.New("peer node down")
+	// ErrStaleEpoch marks an operation issued in a previous membership
+	// epoch: one of its endpoints crashed and was reincarnated after the
+	// operation left, so completing (or re-issuing) it would let a dead
+	// node's past corrupt a live node's present. The payload was dropped
+	// at delivery; the issuer must re-run the operation in its new life.
+	ErrStaleEpoch = errors.New("stale membership epoch")
 )
 
 // CommError is the typed failure a fault-aware communication call

@@ -9,6 +9,7 @@
 package fault
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -72,13 +73,34 @@ type Schedule struct {
 	// Name labels the schedule in errors and logs.
 	Name    string   `json:"name,omitempty"`
 	Actions []Action `json:"actions"`
+
+	// src and lines carry source positions for schedules that came from
+	// JSON: the file label and the 1-based line each action starts on.
+	// Code-built schedules leave them empty and get index-only errors.
+	src   string
+	lines []int
 }
 
-// Parse decodes a schedule from JSON and validates it.
+// actionKeys is the strict field set of one action object; Parse rejects
+// anything else with the offending line, so a typo ("untils_s") fails
+// loudly instead of silently injecting a different fault.
+var actionKeys = map[string]bool{
+	"op": true, "at_s": true, "until_s": true, "node": true, "link": true,
+	"factor": true, "period_s": true, "prob": true, "extra_s": true,
+	"src": true, "dst": true,
+}
+
+// Parse decodes a schedule from JSON and validates it strictly: unknown
+// fields, unknown ops, missing required fields and inverted time windows
+// are all reported with the line they appear on.
 func Parse(data []byte) (*Schedule, error) {
 	var s Schedule
 	if err := json.Unmarshal(data, &s); err != nil {
 		return nil, fmt.Errorf("fault: parse schedule: %w", err)
+	}
+	s.src = "schedule"
+	if err := s.strictCheck(data); err != nil {
+		return nil, err
 	}
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -86,7 +108,7 @@ func Parse(data []byte) (*Schedule, error) {
 	return &s, nil
 }
 
-// Load reads and parses a schedule file.
+// Load reads and parses a schedule file; errors carry path:line.
 func Load(path string) (*Schedule, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -94,9 +116,90 @@ func Load(path string) (*Schedule, error) {
 	}
 	s, err := Parse(data)
 	if err != nil {
-		return nil, fmt.Errorf("%w (in %s)", err, path)
+		return nil, err
+	}
+	s.src = path
+	// Re-validate so any deferred (line-annotated) message names the file.
+	if err := s.Validate(); err != nil {
+		return nil, err
 	}
 	return s, nil
+}
+
+// lineAt converts a byte offset into a 1-based line number.
+func lineAt(data []byte, off int) int {
+	if off > len(data) {
+		off = len(data)
+	}
+	return 1 + bytes.Count(data[:off], []byte{'\n'})
+}
+
+// strictCheck re-walks the raw JSON to (a) record the line each action
+// starts on and (b) reject unknown action fields. It runs after the
+// permissive decode, so data is known to be well-formed JSON.
+func (s *Schedule) strictCheck(data []byte) error {
+	var top struct {
+		Name    json.RawMessage   `json:"name"`
+		Actions []json.RawMessage `json:"actions"`
+	}
+	if err := json.Unmarshal(data, &top); err != nil {
+		return fmt.Errorf("fault: parse schedule: %w", err)
+	}
+	s.lines = make([]int, len(top.Actions))
+	cursor := 0
+	for i, raw := range top.Actions {
+		// Locate this action's opening brace in the source text: raw is a
+		// verbatim sub-slice of data, so searching from the previous
+		// action's end finds the exact byte offset, hence the line.
+		off := bytes.Index(data[cursor:], raw)
+		if off < 0 {
+			off = 0 // defensive: fall back to line 1
+		} else {
+			off += cursor
+			cursor = off + len(raw)
+		}
+		s.lines[i] = lineAt(data, off)
+		var fields map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &fields); err != nil {
+			return fmt.Errorf("fault: %s:%d: action %d is not an object: %w",
+				s.src, s.lines[i], i, err)
+		}
+		for k := range fields {
+			if !actionKeys[k] {
+				return fmt.Errorf("fault: %s:%d: action %d: unknown field %q",
+					s.src, s.lines[i], i, k)
+			}
+		}
+		if _, ok := fields["op"]; !ok {
+			return fmt.Errorf("fault: %s:%d: action %d: missing field \"op\"",
+				s.src, s.lines[i], i)
+		}
+		for _, req := range requiredKeys(s.Actions[i].Op) {
+			if _, ok := fields[req]; !ok {
+				return fmt.Errorf("fault: %s:%d: action %d (%s): missing field %q",
+					s.src, s.lines[i], i, s.Actions[i].Op, req)
+			}
+		}
+	}
+	return nil
+}
+
+// requiredKeys lists the fields an op cannot do without. Unknown ops
+// return nothing here; Validate rejects them with the op name.
+func requiredKeys(op Op) []string {
+	switch op {
+	case OpCrash:
+		return []string{"node"}
+	case OpDegrade:
+		return []string{"link", "factor"}
+	case OpFlap:
+		return []string{"link", "period_s", "until_s"}
+	case OpDrop, OpDuplicate:
+		return []string{"prob"}
+	case OpDelay:
+		return []string{"prob", "extra_s"}
+	}
+	return nil
 }
 
 // Validate checks every action's fields for the constraints its op
@@ -106,7 +209,11 @@ func (s *Schedule) Validate() error {
 	for i := range s.Actions {
 		a := &s.Actions[i]
 		fail := func(format string, args ...any) error {
-			return fmt.Errorf("fault: action %d (%s): %s", i, a.Op,
+			loc := ""
+			if i < len(s.lines) {
+				loc = fmt.Sprintf("%s:%d: ", s.src, s.lines[i])
+			}
+			return fmt.Errorf("fault: %saction %d (%s): %s", loc, i, a.Op,
 				fmt.Sprintf(format, args...))
 		}
 		if a.At < 0 {

@@ -3,6 +3,9 @@ package fault
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/sim"
 )
@@ -18,19 +21,37 @@ import (
 // instants). A rule's active window is a pure function of virtual time,
 // so no cross-lane activation state is needed.
 //
+// Crash actions with until_s become static outage windows
+// (sim.ShardGroup.SetOutage): the lane is down for [at_s, until_s) and
+// reincarnated after, with lane-transition events booked at both edges
+// so runtimes can retire and rejoin the lane's processes. Incarnation
+// numbers derived from the static windows fence stale cross-lane
+// messages (see shardMsg in internal/sim).
+//
 // Degrade and flap rules name fluid-Net links, which the sharded
-// fixed-rate cross-lane path does not have; InstallShard rejects
-// schedules containing them rather than silently ignoring faults.
+// fixed-rate cross-lane path does not have; the NIC links ("nic-tx<n>",
+// "nic-rx<n>") are mapped onto the lane mesh instead — a degraded NIC
+// stretches matching messages by the wire-latency ratio, a flapping NIC
+// drops them during its down half-cycles — both pure functions of
+// virtual time, consuming no RNG draws (the legacy engine's fluid
+// counterparts draw none either). Core and memory links have no
+// cross-lane analogue and are rejected.
 
 // InstallShard realizes sched against group g: installs the message
-// filter and books crash events on the victim lanes. Node indices in
-// the schedule are lane indices. A nil or empty schedule is a no-op.
-// Call after the group (and its lookahead links) is built, before Run.
+// filter, books crash outages and transition events on the victim
+// lanes, and maps NIC degrade/flap rules onto the lane mesh. Node
+// indices in the schedule are lane indices. A nil or empty schedule is
+// a no-op. Call after the group (and its lookahead links) is built,
+// before Run.
 func InstallShard(g *sim.ShardGroup, sched *Schedule) error {
 	if sched == nil || len(sched.Actions) == 0 {
 		return nil
 	}
+	if err := sched.Validate(); err != nil {
+		return err
+	}
 	var msgRules []Action
+	var outages []Action // crash-with-revive windows, per-lane sorted below
 	for i := range sched.Actions {
 		a := sched.Actions[i]
 		switch a.Op {
@@ -41,37 +62,113 @@ func InstallShard(g *sim.ShardGroup, sched *Schedule) error {
 				return fmt.Errorf("fault: crash node %d, sharded run has %d lanes", a.Node, g.Lanes())
 			}
 			if a.Until != 0 {
-				return fmt.Errorf("fault: crash with until_s: the sharded engine does not model revival")
+				outages = append(outages, a)
+				continue
 			}
 			lane := g.Lane(a.Node)
 			at := sim.FromSeconds(a.At)
 			lane.After(at-lane.Now(), func() {
 				g.CrashLane(lane)
 				lane.TraceInstant("fault", "crash", "", int64(a.Node), 0)
+				g.NotifyLaneTransition(a.Node, true)
 			})
 		case OpDegrade, OpFlap:
-			return fmt.Errorf("fault: %s targets a fluid-net link; the sharded cross-lane path is fixed-rate (run it on the legacy engine)", a.Op)
+			if _, _, err := nicLane(a.Link); err != nil {
+				return err
+			}
+			msgRules = append(msgRules, a)
 		default:
 			return fmt.Errorf("fault: unknown op %q", a.Op)
 		}
 	}
+	// Outage windows are static: register them sorted per lane so lane
+	// liveness and incarnations are pure functions of virtual time, and
+	// book the transition events that retire and rejoin the lane's model.
+	sort.SliceStable(outages, func(i, j int) bool { return outages[i].At < outages[j].At })
+	lastUntil := make(map[int]float64)
+	for i := range outages {
+		a := outages[i]
+		if a.At < lastUntil[a.Node] {
+			return fmt.Errorf("fault: crash windows on node %d overlap (at_s %g inside an earlier window)", a.Node, a.At)
+		}
+		lastUntil[a.Node] = a.Until
+		from, until := sim.FromSeconds(a.At), sim.FromSeconds(a.Until)
+		g.SetOutage(a.Node, sim.Time(from), sim.Time(until))
+		lane := g.Lane(a.Node)
+		lane.After(from-lane.Now(), func() {
+			lane.TraceInstant("fault", "crash", "", int64(a.Node), 0)
+			g.NotifyLaneTransition(a.Node, true)
+		})
+		lane.After(until-lane.Now(), func() {
+			lane.TraceInstant("fault", "revive", "", int64(a.Node), 0)
+			g.NotifyLaneTransition(a.Node, false)
+		})
+	}
 	if len(msgRules) > 0 {
-		g.SetMessageFilter(shardFilter(msgRules))
+		g.SetMessageFilter(shardFilter(g, msgRules))
 	}
 	return nil
 }
 
+// nicLane maps a legacy NIC link name onto the lane mesh: "nic-tx<n>"
+// degrades/flaps messages leaving lane n, "nic-rx<n>" messages entering
+// it. Core and memory links have no cross-lane analogue.
+func nicLane(name string) (lane int, egress bool, err error) {
+	var rest string
+	switch {
+	case strings.HasPrefix(name, "nic-tx"):
+		rest, egress = name[len("nic-tx"):], true
+	case strings.HasPrefix(name, "nic-rx"):
+		rest, egress = name[len("nic-rx"):], false
+	default:
+		return 0, false, fmt.Errorf("fault: link %q has no sharded analogue (only NIC links nic-tx<n>/nic-rx<n> map onto the lane mesh)", name)
+	}
+	lane, err = strconv.Atoi(rest)
+	if err != nil {
+		return 0, false, fmt.Errorf("fault: link %q: bad NIC index: %v", name, err)
+	}
+	return lane, egress, nil
+}
+
 // shardFilter builds the group's MessageFilter from the schedule's
-// message rules. Rules are consulted in schedule order with one RNG
-// draw per active matching rule — the same contract as the Injector's
-// MessageVerdict — and the first triggered rule wins.
-func shardFilter(rules []Action) sim.MessageFilter {
+// message rules. Probabilistic rules are consulted in schedule order
+// with one RNG draw per active matching rule — the same contract as the
+// Injector's MessageVerdict — and the first triggered rule wins.
+// Degrade and flap rules are deterministic (no draws): a degraded NIC
+// delays matching messages by the wire-latency ratio of the slowdown, a
+// flapping NIC drops them during its down half-cycles.
+func shardFilter(g *sim.ShardGroup, rules []Action) sim.MessageFilter {
 	return func(src, dst int, at sim.Time, size int64, rng *rand.Rand) (sim.MessageVerdict, sim.Duration) {
 		now := at.Seconds()
 		for i := range rules {
 			a := &rules[i]
 			if now < a.At || (a.Until != 0 && now >= a.Until) {
 				continue
+			}
+			switch a.Op {
+			case OpDegrade, OpFlap:
+				lane, egress, _ := nicLane(a.Link) // validated at install
+				if (egress && lane != src) || (!egress && lane != dst) {
+					continue
+				}
+				if a.Op == OpFlap {
+					// Down during even half-cycles, starting down at at_s —
+					// the legacy flap's toggle pattern as a pure time function.
+					if int64((now-a.At)/a.Period)%2 == 0 {
+						return sim.MsgDrop, 0
+					}
+					continue
+				}
+				// Degrade: the fixed-rate path has no fluid capacity to
+				// scale, so stretch the message by the same ratio the
+				// slowdown would stretch the wire: factor 0.25 means 4x the
+				// baseline latency, i.e. (1/factor - 1) extra lookaheads.
+				// Factor 0 is a dead link: nothing gets through.
+				if a.Factor <= 0 {
+					return sim.MsgDrop, 0
+				}
+				la := g.Lookahead(src, dst)
+				return sim.MsgDelay, sim.Duration(float64(la) * (1/a.Factor - 1))
 			}
 			if a.Src >= 0 && a.Src != src {
 				continue

@@ -87,14 +87,113 @@ func TestInstallShardCrash(t *testing.T) {
 	}
 }
 
-// TestInstallShardRejectsLinkRules: link-targeted ops have no sharded
-// equivalent and must be rejected loudly.
-func TestInstallShardRejectsLinkRules(t *testing.T) {
+// TestInstallShardLinkRules: degrade and flap map onto the lane mesh
+// via the NIC link names — a degraded NIC stretches matching messages
+// deterministically, a flapping NIC drops them during down half-cycles
+// — while core/memory links (no cross-lane analogue) stay rejected.
+func TestInstallShardLinkRules(t *testing.T) {
+	run := func(sched *Schedule, fn func(g *sim.ShardGroup, p *sim.Proc, hits *int)) (int, sim.Time) {
+		g := sim.NewShardGroup(1, 2, nil)
+		g.SetLookahead(0, 1, 2*sim.Microsecond)
+		if err := InstallShard(g, sched); err != nil {
+			t.Fatal(err)
+		}
+		hits := 0
+		var end sim.Time
+		g.Lane(1).Go("sink", func(p *sim.Proc) {})
+		g.Lane(0).Go("src", func(p *sim.Proc) {
+			fn(g, p, &hits)
+		})
+		if err := g.Run(); err != nil {
+			t.Fatal(err)
+		}
+		end = g.Lane(1).Now()
+		return hits, end
+	}
+
+	// Degrade at factor 0.25: the message is stretched by 3 extra
+	// lookaheads (1/0.25 - 1), so it lands at 2us + 6us = 8us.
+	degrade := &Schedule{Actions: []Action{
+		{Op: OpDegrade, Link: "nic-tx0", Factor: 0.25, Until: 1, Src: -1, Dst: -1},
+	}}
+	hits, end := run(degrade, func(g *sim.ShardGroup, p *sim.Proc, hits *int) {
+		g.Send(p.Engine(), 1, 2*sim.Microsecond, 8, func() { *hits++ })
+	})
+	if hits != 1 || end != sim.Time(8*sim.Microsecond) {
+		t.Fatalf("degraded send: hits=%d end=%v, want 1 hit at 8µs", hits, end)
+	}
+
+	// Flap with 10us half-cycles starting at 0: a send at 5us (down
+	// half-cycle) drops, a send at 15us (up half-cycle) lands.
+	flap := &Schedule{Actions: []Action{
+		{Op: OpFlap, Link: "nic-tx0", Period: 10e-6, Until: 1, Src: -1, Dst: -1},
+	}}
+	hits, _ = run(flap, func(g *sim.ShardGroup, p *sim.Proc, hits *int) {
+		p.Advance(5 * sim.Microsecond)
+		g.Send(p.Engine(), 1, 2*sim.Microsecond, 8, func() { *hits++ })
+		p.Advance(10 * sim.Microsecond)
+		g.Send(p.Engine(), 1, 2*sim.Microsecond, 8, func() { *hits++ })
+	})
+	if hits != 1 {
+		t.Fatalf("flapped sends: hits=%d, want 1 (down half-cycle drops)", hits)
+	}
+
+	// Links without a lane-mesh analogue stay rejected.
 	g := sim.NewShardGroup(1, 2, nil)
 	err := InstallShard(g, &Schedule{Actions: []Action{
-		{Op: OpDegrade, Link: "nic-tx0", Factor: 0.5, Src: -1, Dst: -1},
+		{Op: OpDegrade, Link: "mem0", Factor: 0.5, Src: -1, Dst: -1},
 	}})
-	if err == nil || !strings.Contains(err.Error(), "degrade") {
-		t.Fatalf("err = %v, want degrade rejection", err)
+	if err == nil || !strings.Contains(err.Error(), "mem0") {
+		t.Fatalf("err = %v, want mem0 rejection", err)
+	}
+}
+
+// TestInstallShardOutage: a crash with until_s is a static outage
+// window — down inside it, reincarnated after — with the incarnation
+// fence dropping unreliable messages that cross the revival.
+func TestInstallShardOutage(t *testing.T) {
+	sched := &Schedule{Actions: []Action{
+		{Op: OpCrash, At: 10e-6, Until: 30e-6, Node: 1},
+	}}
+	g := sim.NewShardGroup(3, 2, nil)
+	g.SetLookahead(0, 1, 2*sim.Microsecond)
+	if err := InstallShard(g, sched); err != nil {
+		t.Fatal(err)
+	}
+	var transitions []bool
+	g.OnLaneTransition(func(lane int, down bool) {
+		if lane == 1 {
+			transitions = append(transitions, down)
+		}
+	})
+	delivered := 0
+	g.Lane(0).Go("sender", func(p *sim.Proc) {
+		// Lands at 5us, before the outage: delivered.
+		g.Send(p.Engine(), 1, 5*sim.Microsecond, 8, func() { delivered++ })
+		p.Advance(15 * sim.Microsecond)
+		// Sent at 15us into the outage, lands at 20us, still inside: dropped.
+		g.Send(p.Engine(), 1, 5*sim.Microsecond, 8, func() { delivered++ })
+		// Sent at 15us with 20us of wire: lands at 35us, after the revival,
+		// but its source-time incarnation is stale: dropped by the fence.
+		g.Send(p.Engine(), 1, 20*sim.Microsecond, 8, func() { delivered++ })
+		p.Advance(20 * sim.Microsecond)
+		// Sent at 35us, post-revival on both ends: delivered.
+		g.Send(p.Engine(), 1, 5*sim.Microsecond, 8, func() { delivered++ })
+	})
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 2 {
+		t.Fatalf("delivered = %d, want 2 (pre-outage + post-revival)", delivered)
+	}
+	if g.LaneDown(1, 5*sim.Microsecond) || !g.LaneDown(1, 10*sim.Microsecond) ||
+		!g.LaneDown(1, 29*sim.Microsecond) || g.LaneDown(1, 30*sim.Microsecond) {
+		t.Fatal("outage window wrong")
+	}
+	if g.IncarnationAt(1, 0) != 0 || g.IncarnationAt(1, 30*sim.Microsecond) != 1 {
+		t.Fatal("incarnation counting wrong")
+	}
+	if len(transitions) != 2 || !transitions[0] || transitions[1] {
+		t.Fatalf("transitions = %v, want [down, up]", transitions)
 	}
 }

@@ -64,6 +64,48 @@ func (c *Comm) commError(op string, peer, attempts int, cause error) error {
 	return &fault.CommError{Op: op, Src: c.Rank, Dst: peer, Attempts: attempts, Err: cause}
 }
 
+// incPair reports the current incarnations of this rank's node and
+// peer's node. Only call under an installed fault schedule.
+func (c *Comm) incPair(peer int) (int64, int64) {
+	w := c.w
+	return w.inj.Incarnation(c.Place.Node), w.inj.Incarnation(w.places[peer].Node)
+}
+
+// epochStale reports whether an operation issued at incarnations
+// (si, pi) straddles a reincarnation of either endpoint node — the
+// membership-epoch fence. Stale operations surface as ErrStaleEpoch
+// instead of being retried into the node's new life.
+func (c *Comm) epochStale(peer int, si, pi int64) bool {
+	ni, npi := c.incPair(peer)
+	return ni != si || npi != pi
+}
+
+// fencePayload wraps a cross-node payload arrival with the
+// delivery-time membership-epoch fence: a payload sent before a
+// reincarnation of either endpoint is dropped (with a comm-matrix
+// "stale-drop" instant) instead of firing into the new life's restored
+// state. Fault-free runs pass through untouched.
+func (c *Comm) fencePayload(dst int, bytes int64, apply func()) func() {
+	w := c.w
+	if apply == nil || !w.faultsOn() {
+		return apply
+	}
+	srcN, dstN := c.Place.Node, w.places[dst].Node
+	si, di := w.inj.Incarnation(srcN), w.inj.Incarnation(dstN)
+	rank, peer := c.Rank, dst
+	return func() {
+		if w.inj.Incarnation(srcN) != si || w.inj.Incarnation(dstN) != di ||
+			w.nodeDown(dstN) {
+			if w.Eng.Tracing() {
+				w.Eng.TraceInstant(trace.CatComm, "stale-drop", trace.ClassFault,
+					bytes, trace.PackEndpoints(rank, peer, srcN, dstN))
+			}
+			return
+		}
+		apply()
+	}
+}
+
 // SendErr is Send with fault recovery and typed errors.
 func (c *Comm) SendErr(dst int, data []byte) error {
 	if err := c.sendCheck(dst); err != nil {
@@ -112,12 +154,19 @@ func (c *Comm) finishSend(op *fabric.NetOp, msg *message, dst int) error {
 	rp := w.retry
 	xfer := c.expectXfer(msg.bytes)
 	dstNode := w.places[dst].Node
+	si, di := c.incPair(dst)
 	attempts := 1
 	for try := 0; ; try++ {
 		if op.Remote.WaitTimeout(c.P, rp.AttemptTimeout(try, xfer)) {
 			return nil
 		}
 		c.FaultEvent("timeout", dst, msg.bytes)
+		// Epoch fence before the liveness diagnosis: an endpoint that
+		// crashed and revived within the window is up again, but this send
+		// belongs to its previous incarnation.
+		if c.epochStale(dst, si, di) {
+			return c.commError("send", dst, attempts, fault.ErrStaleEpoch)
+		}
 		if w.nodeDown(c.Place.Node) || w.nodeDown(dstNode) {
 			return c.commError("send", dst, attempts, fault.ErrNodeDown)
 		}
@@ -125,6 +174,9 @@ func (c *Comm) finishSend(op *fabric.NetOp, msg *message, dst int) error {
 			return c.commError("send", dst, attempts, fault.ErrTimeout)
 		}
 		c.P.Advance(rp.BackoffFor(try + 1))
+		if c.epochStale(dst, si, di) {
+			return c.commError("send", dst, attempts, fault.ErrStaleEpoch)
+		}
 		if w.nodeDown(c.Place.Node) || w.nodeDown(dstNode) {
 			return c.commError("send", dst, attempts, fault.ErrNodeDown)
 		}
@@ -147,10 +199,14 @@ func (c *Comm) RecvErr(src int) ([]byte, error) {
 	}
 	rp := w.retry
 	srcNode := w.places[src].Node
+	si, pi := c.incPair(src)
 	timeouts := 0
 	for {
 		if m := c.matchNow(src); m != nil {
 			return c.awaitPayload(m, src)
+		}
+		if c.epochStale(src, si, pi) {
+			return nil, c.commError("recv", src, timeouts, fault.ErrStaleEpoch)
 		}
 		if w.nodeDown(c.Place.Node) || w.nodeDown(srcNode) {
 			return nil, c.commError("recv", src, timeouts, fault.ErrNodeDown)
@@ -177,12 +233,16 @@ func (c *Comm) awaitPayload(m *message, src int) ([]byte, error) {
 	rp := w.retry
 	xfer := c.expectXfer(m.bytes)
 	srcNode := w.places[src].Node
+	si, pi := c.incPair(src)
 	attempts := 1
 	for try := 0; ; try++ {
 		if m.arrived.WaitTimeout(c.P, rp.AttemptTimeout(try, xfer)) {
 			return m.data, nil
 		}
 		c.FaultEvent("timeout", src, m.bytes)
+		if c.epochStale(src, si, pi) {
+			return nil, c.commError("recv", src, attempts, fault.ErrStaleEpoch)
+		}
 		if w.nodeDown(c.Place.Node) || w.nodeDown(srcNode) {
 			return nil, c.commError("recv", src, attempts, fault.ErrNodeDown)
 		}
@@ -190,6 +250,9 @@ func (c *Comm) awaitPayload(m *message, src int) ([]byte, error) {
 			return nil, c.commError("recv", src, attempts, fault.ErrTimeout)
 		}
 		c.P.Advance(rp.BackoffFor(try + 1))
+		if c.epochStale(src, si, pi) {
+			return nil, c.commError("recv", src, attempts, fault.ErrStaleEpoch)
+		}
 		if w.nodeDown(c.Place.Node) || w.nodeDown(srcNode) {
 			return nil, c.commError("recv", src, attempts, fault.ErrNodeDown)
 		}

@@ -223,7 +223,7 @@ func (c *Comm) transfer(dst int, bytes int64, apply func()) *fabric.NetOp {
 		}
 		return op
 	}
-	return c.ep.PutAsync(c.P, w.eps[dst], bytes, apply)
+	return c.ep.PutAsync(c.P, w.eps[dst], bytes, c.fencePayload(dst, bytes, apply))
 }
 
 // post enqueues a matching record of the given byte volume at the

@@ -100,16 +100,29 @@ type MessageFilter func(src, dst int, at Time, size int64, rng *rand.Rand) (v Me
 
 // shardMsg is one staged cross-lane message. Exactly one of fn and act
 // is set; act is the allocation-free flavor used by pooled transports.
+// sentAt and reliable feed the membership-epoch fence: an unreliable
+// message whose source or destination lane was reincarnated between
+// send and arrival is stale and dropped at delivery.
 type shardMsg struct {
-	at      Time
-	src     int
-	dst     int
-	seq     uint64 // per-source-lane send sequence: the deterministic tie-break
-	size    int64
-	verdict MessageVerdict
-	extra   Duration // MsgDelay only
-	fn      func()
-	act     Action
+	at       Time
+	sentAt   Time
+	src      int
+	dst      int
+	seq      uint64 // per-source-lane send sequence: the deterministic tie-break
+	size     int64
+	verdict  MessageVerdict
+	extra    Duration // MsgDelay only
+	reliable bool
+	fn       func()
+	act      Action
+}
+
+// laneOutage is one scheduled down-window of a lane: down at from,
+// reincarnated at until (maxTime = never). Outages are fixed before the
+// run, so lane liveness and incarnation numbers are pure functions of
+// virtual time — readable from any lane without synchronization.
+type laneOutage struct {
+	from, until Time
 }
 
 // ShardGroup drives a set of lane engines through conservative LBTS
@@ -126,10 +139,13 @@ type ShardGroup struct {
 	sink trace.Tracer    // the merged stream's destination (nil = untraced)
 	bufs []*trace.Buffer // per-lane window buffers (nil when sink is nil)
 
-	outbox [][]shardMsg // staged sends, indexed by source lane
-	seqs   []uint64     // per-source-lane send sequence counters
-	downAt []Time       // virtual time each lane crashed, or maxTime
-	filter MessageFilter
+	outbox  [][]shardMsg // staged sends, indexed by source lane
+	seqs    []uint64     // per-source-lane send sequence counters
+	downAt  []Time       // virtual time each lane crashed, or maxTime
+	outages [][]laneOutage
+	churn   bool // any outage registered: arrivals pay the epoch fence
+	onTrans []func(lane int, down bool)
+	filter  MessageFilter
 
 	scratch  []shardMsg // delivery sort scratch
 	runnable []*Engine  // per-round lane work list
@@ -163,6 +179,7 @@ func NewShardGroup(seed int64, lanes int, sink trace.Tracer) *ShardGroup {
 		outbox:  make([][]shardMsg, lanes),
 		seqs:    make([]uint64, lanes),
 		downAt:  make([]Time, lanes),
+		outages: make([][]laneOutage, lanes),
 		arrPool: make([]FreeList[arrival], lanes),
 	}
 	if n := ShardWorkers(); n > 1 {
@@ -280,9 +297,73 @@ func (g *ShardGroup) CrashLane(e *Engine) {
 	}
 }
 
-// LaneDown reports whether lane i has crashed as of time t. Valid in
-// group context and in lane i's own context.
-func (g *ShardGroup) LaneDown(i int, t Time) bool { return t >= g.downAt[i] }
+// LaneDown reports whether lane i is down as of time t: crashed via
+// CrashLane, or inside a scheduled outage window. Outages are static, so
+// the answer is a pure function of (lane, t) — valid from any context.
+func (g *ShardGroup) LaneDown(i int, t Time) bool {
+	if t >= g.downAt[i] {
+		return true
+	}
+	for _, o := range g.outages[i] {
+		if t >= o.from && t < o.until {
+			return true
+		}
+	}
+	return false
+}
+
+// SetOutage declares a scheduled down-window of a lane: down at from,
+// reincarnated at until (use a crash event plus CrashLane for a node
+// that never comes back). Windows of one lane must not overlap. Outages
+// are fixed for the run — declare them before Run, in ascending order.
+func (g *ShardGroup) SetOutage(lane int, from, until Time) {
+	if from >= until {
+		panic(fmt.Sprintf("sim: SetOutage(%d, %v, %v): empty window", lane, from, until))
+	}
+	if n := len(g.outages[lane]); n > 0 && g.outages[lane][n-1].until > from {
+		panic(fmt.Sprintf("sim: SetOutage(%d): window at %v overlaps the previous one", lane, from))
+	}
+	g.outages[lane] = append(g.outages[lane], laneOutage{from, until})
+	g.churn = true
+}
+
+// IncarnationAt reports lane i's incarnation number as of time t: the
+// count of completed outage windows. A message whose endpoint
+// incarnations differ between send and arrival crossed a reincarnation
+// and is stale. Pure function of the static outage table.
+func (g *ShardGroup) IncarnationAt(i int, t Time) int64 {
+	var n int64
+	for _, o := range g.outages[i] {
+		if o.until <= t {
+			n++
+		}
+	}
+	return n
+}
+
+// staleMsg reports whether m crossed a reincarnation of either endpoint
+// between send and its arrival at time now.
+func (g *ShardGroup) staleMsg(m *shardMsg, now Time) bool {
+	return g.IncarnationAt(m.src, m.sentAt) != g.IncarnationAt(m.src, now) ||
+		g.IncarnationAt(m.dst, m.sentAt) != g.IncarnationAt(m.dst, now)
+}
+
+// OnLaneTransition registers an observer of scheduled lane outages,
+// invoked in the affected lane's own context at the down and up edges
+// (via NotifyLaneTransition events booked by the fault installer).
+// Register before Run.
+func (g *ShardGroup) OnLaneTransition(fn func(lane int, down bool)) {
+	g.onTrans = append(g.onTrans, fn)
+}
+
+// NotifyLaneTransition runs the registered lane-transition observers.
+// Call from the affected lane's own simulation context, at the outage
+// edge the observers are being told about.
+func (g *ShardGroup) NotifyLaneTransition(lane int, down bool) {
+	for _, fn := range g.onTrans {
+		fn(lane, down)
+	}
+}
 
 // Send stages a cross-lane message: fn runs in dst's engine context at
 // src.Now()+delay. delay must be at least the declared lookahead of the
@@ -343,7 +424,8 @@ func (g *ShardGroup) send(src *Engine, dst int, delay Duration, size int64, reli
 		panic(fmt.Sprintf("sim: Send %d -> %d with delay %v below lookahead %v (conservative window violated)",
 			s, dst, delay, la))
 	}
-	m := shardMsg{at: src.now + delay, src: s, dst: dst, size: size, fn: fn, act: act}
+	m := shardMsg{at: src.now + delay, sentAt: src.now, src: s, dst: dst,
+		size: size, reliable: reliable, fn: fn, act: act}
 	if g.filter != nil && !reliable {
 		m.verdict, m.extra = g.filter(s, dst, src.now, size, src.rng)
 		if m.verdict == MsgDelay {
@@ -505,6 +587,15 @@ func (a *arrival) Run() {
 	}
 	if g.LaneDown(m.dst, dst.now) {
 		dst.traceShardFault("down-drop", m.src, m.dst, m.size)
+		return
+	}
+	// Membership-epoch fence: an unreliable message that left before a
+	// reincarnation of either endpoint belongs to a previous life and
+	// must not touch the new one. Reliable control traffic is exempt —
+	// it models the self-healing transport whose retransmissions carry
+	// fresh epochs (see fabric.ShardPort's reply cache).
+	if g.churn && !m.reliable && g.staleMsg(&m, dst.now) {
+		dst.traceShardFault("stale-drop", m.src, m.dst, m.size)
 		return
 	}
 	if aux != "" {

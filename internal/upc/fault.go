@@ -94,6 +94,47 @@ func (t *Thread) retriable(peer int) bool {
 	return t.rt.faultsOn() && t.networkPath(peer)
 }
 
+// nodeInc reports the current incarnation of peer's node. Only call
+// under an installed fault schedule.
+func (t *Thread) nodeInc(peer int) int64 {
+	return t.rt.inj.Incarnation(t.rt.places[peer].Node)
+}
+
+// epochStale reports whether an op issued when this thread's node and
+// peer's node had incarnations (si, pi) now straddles a reincarnation
+// of either end — the membership-epoch fence.
+func (t *Thread) epochStale(peer int, si, pi int64) bool {
+	return t.nodeInc(t.ID) != si || t.nodeInc(peer) != pi
+}
+
+// fenceApply wraps a network payload apply with the delivery-time
+// membership-epoch fence: if either endpoint node was reincarnated
+// since issue, or the destination is down at delivery, the payload is
+// dropped (with a comm-matrix "stale-drop" instant) instead of
+// corrupting the new life's restored state. Fault-free runs and
+// payload-free transfers pass through untouched, keeping the hot path
+// allocation-free.
+func (t *Thread) fenceApply(peer int, bytes int64, apply func()) func() {
+	rt := t.rt
+	if apply == nil || !rt.faultsOn() {
+		return apply
+	}
+	srcN, dstN := t.Place.Node, rt.places[peer].Node
+	si, pi := rt.inj.Incarnation(srcN), rt.inj.Incarnation(dstN)
+	tid, pid := t.ID, peer
+	return func() {
+		if rt.inj.Incarnation(srcN) != si || rt.inj.Incarnation(dstN) != pi ||
+			rt.Cluster.NodeDown(dstN) {
+			if rt.Eng.Tracing() {
+				rt.Eng.TraceInstant(trace.CatComm, "stale-drop", trace.ClassFault,
+					bytes, trace.PackEndpoints(tid, pid, srcN, dstN))
+			}
+			return
+		}
+		apply()
+	}
+}
+
 // expectXfer estimates the fault-free completion time of a transfer, fed
 // into the retry policy's per-attempt timeouts so big payloads on slow
 // conduits are not declared lost while still streaming.
@@ -114,15 +155,31 @@ func (t *Thread) commError(op string, peer, attempts int, cause error) error {
 // an injected duplicate is harmless). Returns the op that completed, or
 // a typed CommError when retries are exhausted or a node died.
 func (t *Thread) reliableWait(opName string, peer int, bytes int64,
-	op *fabric.NetOp, reissue func() *fabric.NetOp) (*fabric.NetOp, error) {
+	op *fabric.NetOp, reissue func() *fabric.NetOp, si, pi int64) (*fabric.NetOp, error) {
 	rp := t.rt.retry
 	xfer := t.expectXfer(bytes)
 	attempts := 1
 	for try := 0; ; try++ {
 		if op.Remote.WaitTimeout(t.P, rp.AttemptTimeout(try, xfer)) {
+			// The fabric-level completion fired, but if an endpoint was
+			// reincarnated since issue the delivery-time fence dropped the
+			// payload — success here would be a lie.
+			if t.epochStale(peer, si, pi) {
+				op.Release()
+				return nil, t.commError(opName, peer, attempts, fault.ErrStaleEpoch)
+			}
 			return op, nil
 		}
 		t.FaultEvent("timeout", peer, bytes)
+		// Epoch fence before the liveness checks: an endpoint that crashed
+		// AND revived within the timeout window is alive again, but the op
+		// belongs to its previous incarnation — retrying it into the new
+		// life would bypass the checkpoint restore. Typed as ErrStaleEpoch
+		// so callers reissue fresh operations instead.
+		if t.epochStale(peer, si, pi) {
+			op.Release()
+			return nil, t.commError(opName, peer, attempts, fault.ErrStaleEpoch)
+		}
 		if t.Failed() || !t.Alive(peer) {
 			op.Release()
 			return nil, t.commError(opName, peer, attempts, fault.ErrNodeDown)
@@ -132,7 +189,12 @@ func (t *Thread) reliableWait(opName string, peer int, bytes int64,
 			return nil, t.commError(opName, peer, attempts, fault.ErrTimeout)
 		}
 		t.P.Advance(rp.BackoffFor(try + 1))
-		// The peer may have crashed while we backed off.
+		// The peer may have crashed (or crossed a reincarnation) while we
+		// backed off.
+		if t.epochStale(peer, si, pi) {
+			op.Release()
+			return nil, t.commError(opName, peer, attempts, fault.ErrStaleEpoch)
+		}
 		if t.Failed() || !t.Alive(peer) {
 			op.Release()
 			return nil, t.commError(opName, peer, attempts, fault.ErrNodeDown)
@@ -161,6 +223,7 @@ func (t *Thread) armRetry(h *Handle, opName string, peer int, bytes int64,
 		return
 	}
 	h.t, h.opName, h.peer, h.bytes, h.reissue = t, opName, peer, bytes, reissue
+	h.srcInc, h.dstInc = t.nodeInc(t.ID), t.nodeInc(peer)
 }
 
 // WaitSyncErr blocks until the asynchronous operation completes,
@@ -178,7 +241,7 @@ func (t *Thread) WaitSyncErr(h *Handle) error {
 		op.Release()
 		return nil
 	}
-	op, err := t.reliableWait(h.opName, h.peer, h.bytes, h.op, h.reissue)
+	op, err := t.reliableWait(h.opName, h.peer, h.bytes, h.op, h.reissue, h.srcInc, h.dstInc)
 	h.reissue = nil
 	h.op = nil // the wait consumed the operation either way; Try reads done
 	if err != nil {
@@ -204,12 +267,14 @@ func (t *Thread) BarrierErr() error {
 	t.flushXlateCounters()
 	end := t.P.TraceSpan("upc", "barrier")
 	defer end()
+	gen := rt.bar.seq
 	ev := rt.bar.notify(rt, t.ID)
 	rp := rt.retry
 	attempts := 0
 	for try := 0; try <= rp.MaxRetries; try++ {
 		attempts++
 		if ev.WaitTimeout(t.P, rp.AttemptTimeout(try, rt.barCost)) {
+			t.maybeCkpt(gen)
 			return nil
 		}
 		t.FaultEvent("timeout", t.ID, 0)

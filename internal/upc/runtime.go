@@ -62,6 +62,9 @@ type Config struct {
 	// zero value selects fault.DefaultRetryPolicy. Only consulted when a
 	// fault schedule is installed.
 	Retry fault.RetryPolicy
+	// Ckpt arms barrier-aligned checkpointing of registered shared arrays
+	// and application state (see CkptConfig); the zero value disables it.
+	Ckpt CkptConfig
 }
 
 // sharedMem reports whether two threads on the same node can address each
@@ -122,6 +125,16 @@ type Runtime struct {
 	retry fault.RetryPolicy
 	dead  []bool // threads retired after their node crashed
 	nDead int
+	// reviveQ parks threads awaiting their node's scheduled revival, one
+	// queue per node, woken by the injector's transition observer.
+	reviveQ []sim.WaitQueue
+
+	// Checkpoint state (see ckpt.go): ckptEvery caches Cfg.Ckpt.Every so
+	// the barrier path pays one integer test when disarmed.
+	ckptEvery int64
+	persist   []ckptObject
+	ckptApps  []Checkpointer
+	ckptStore []ckptRec
 }
 
 // Intern returns the runtime-scoped singleton for key, creating it with mk
@@ -204,11 +217,28 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
+	rt.nodesUsed = (cfg.Threads + cfg.ThreadsPerNode - 1) / cfg.ThreadsPerNode
 	if inj != nil {
 		rt.inj = inj
 		rt.retry = cfg.Retry.OrDefault()
+		rt.reviveQ = make([]sim.WaitQueue, rt.nodesUsed)
+		inj.OnTransition(func(node int, down bool) {
+			if !down && node < len(rt.reviveQ) {
+				rt.reviveQ[node].WakeAll()
+			}
+		})
 	}
-	rt.nodesUsed = (cfg.Threads + cfg.ThreadsPerNode - 1) / cfg.ThreadsPerNode
+	rt.ckptEvery = cfg.Ckpt.Every
+	if rt.ckptEvery < 0 {
+		rt.ckptEvery = 0
+	}
+	if rt.ckptEvery > 0 {
+		rt.ckptStore = make([]ckptRec, cfg.Threads)
+		for i := range rt.ckptStore {
+			rt.ckptStore[i].gen = -1
+		}
+		rt.ckptApps = make([]Checkpointer, cfg.Threads)
+	}
 	rt.barCost = cl.BarrierCost(rt.nodesUsed)
 	rt.bar = newPhaseBarrier(cfg.Threads)
 	m := cfg.Machine
@@ -279,6 +309,17 @@ func (rt *Runtime) Thread(i int) *Thread { return rt.threads[i] }
 
 // NodesUsed reports how many cluster nodes the layout spans.
 func (rt *Runtime) NodesUsed() int { return rt.nodesUsed }
+
+// OnNodeTransition registers fn to run in engine context at every
+// crash/revive transition of the installed fault schedule; a no-op
+// without one. Applications use it to wake their own parked workers, so
+// a crash is observed promptly even by threads idling on an app-level
+// wait queue (the runtime's own revival parks are woken internally).
+func (rt *Runtime) OnNodeTransition(fn func(node int, down bool)) {
+	if rt.inj != nil {
+		rt.inj.OnTransition(fn)
+	}
+}
 
 // PlaceOf reports the hardware placement of thread i.
 func (rt *Runtime) PlaceOf(i int) topo.Place { return rt.places[i] }

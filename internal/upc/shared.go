@@ -127,6 +127,26 @@ func (s *Shared[T]) PartLen(th int) int {
 	return full*s.block + extra
 }
 
+// Persist registers the array with the barrier-aligned checkpoint
+// layer: every checkpointed generation snapshots each thread's blocks
+// into its buddy replica, and Rejoin restores them. Every thread calls
+// it (like Alloc); registration dedups. No-op when Config.Ckpt is
+// disarmed.
+func (s *Shared[T]) Persist(t *Thread) { t.rt.persistObj(s) }
+
+// ckptSave implements ckptObject: a deep copy of thread th's partition
+// plus its modeled byte volume.
+func (s *Shared[T]) ckptSave(th int) (any, int64) {
+	snap := append([]T(nil), s.segs[th]...)
+	return snap, int64(len(snap) * s.elemBytes)
+}
+
+// ckptRestore implements ckptObject: reinstall thread th's partition
+// from a snapshot taken by ckptSave.
+func (s *Shared[T]) ckptRestore(th int, snap any) {
+	copy(s.segs[th], snap.([]T))
+}
+
 // Partition returns owner's backing slice regardless of castability. It
 // exists for verification code and delivery-time handlers (everything is
 // one address space in the simulation); modeled computation must go

@@ -76,6 +76,21 @@ func (s *Shared2D[T]) LocalOf(r, c int) int {
 // Tile returns this thread's tile (row-major tileR×tileC).
 func (s *Shared2D[T]) Tile(t *Thread) []T { return s.segs[t.ID] }
 
+// Persist registers the array with the barrier-aligned checkpoint
+// layer, like Shared.Persist.
+func (s *Shared2D[T]) Persist(t *Thread) { t.rt.persistObj(s) }
+
+// ckptSave implements ckptObject: a deep copy of thread th's tile.
+func (s *Shared2D[T]) ckptSave(th int) (any, int64) {
+	snap := append([]T(nil), s.segs[th]...)
+	return snap, int64(len(snap) * s.elemBytes)
+}
+
+// ckptRestore implements ckptObject.
+func (s *Shared2D[T]) ckptRestore(th int, snap any) {
+	copy(s.segs[th], snap.([]T))
+}
+
 // CastTile privatizes owner's tile when castable, as Shared.Cast.
 func (s *Shared2D[T]) CastTile(t *Thread, owner int) []T {
 	if !t.Castable(owner) {

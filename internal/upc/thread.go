@@ -83,12 +83,17 @@ func (t *Thread) Castable(other int) bool {
 
 // Barrier executes upc_barrier: all THREADS threads rendezvous; the
 // release is charged the dissemination cost across the nodes in use.
+// When Config.Ckpt arms checkpointing, the selected generations double
+// as coordinated checkpoint lines (see ckpt.go); split-phase barriers
+// never checkpoint.
 func (t *Thread) Barrier() {
 	t.flushXlateCounters()
 	end := t.P.TraceSpan("upc", "barrier")
+	gen := t.rt.bar.seq
 	ev := t.rt.bar.notify(t.rt, t.ID)
 	ev.Wait(t.P)
 	end()
+	t.maybeCkpt(gen)
 }
 
 // BarrierNotify begins a split-phase barrier (upc_notify).
@@ -172,6 +177,10 @@ type Handle struct {
 	peer    int
 	bytes   int64
 	reissue func() *fabric.NetOp
+	// Issue-time incarnations of both endpoint nodes: an op that
+	// straddles a reincarnation of either end is stale and must not be
+	// retried into the new life (fault.ErrStaleEpoch).
+	srcInc, dstInc int64
 }
 
 // Try reports whether the operation has completed, without blocking.
@@ -276,7 +285,7 @@ func (t *Thread) putBytes(dst int, bytes int64, apply func()) *fabric.NetOp {
 	if topo.SameNode(t.Place, dstPlace) && rt.Cfg.sharedMem() {
 		return t.localCopy(t.Place, dstPlace, bytes, t.shmOverhead(), apply)
 	}
-	return t.ep.PutAsync(t.P, rt.eps[dst], bytes, apply)
+	return t.ep.PutAsync(t.P, rt.eps[dst], bytes, t.fenceApply(dst, bytes, apply))
 }
 
 // getBytes moves bytes from thread src toward this thread, applying the
@@ -291,7 +300,7 @@ func (t *Thread) getBytes(src int, bytes int64, apply func()) *fabric.NetOp {
 	if topo.SameNode(t.Place, srcPlace) && rt.Cfg.sharedMem() {
 		return t.localCopy(srcPlace, t.Place, bytes, t.shmOverhead(), apply)
 	}
-	return t.ep.GetAsync(t.P, rt.eps[src], bytes, apply)
+	return t.ep.GetAsync(t.P, rt.eps[src], bytes, t.fenceApply(src, bytes, apply))
 }
 
 // localCopy is MemCopyAsync on a placement pair the caller's path
